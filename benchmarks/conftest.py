@@ -1,0 +1,51 @@
+"""Shared benchmark plumbing.
+
+Each benchmark module regenerates one table/figure of the paper via
+the :mod:`repro.experiments` harness, prints the paper-shaped text
+rendering, and saves it under ``benchmarks/results/``.
+
+By default the sweeps run in *quick* mode (fewer grid points, two
+replication seeds); set ``REPRO_BENCH_FULL=1`` for the full paper
+grids.  Simulations are deterministic, so a single benchmark round is
+meaningful — wall-clock is reported for the whole experiment.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+#: Directory where rendered experiment outputs are saved.
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def is_quick() -> bool:
+    """True unless the full paper grids were requested."""
+    return os.environ.get("REPRO_BENCH_FULL", "") != "1"
+
+
+@pytest.fixture(scope="session")
+def quick() -> bool:
+    """Quick-mode flag for every benchmark."""
+    return is_quick()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Output directory for rendered tables (created on demand)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_and_print(results_dir: Path, name: str, text: str) -> None:
+    """Persist one experiment rendering and echo it to the console."""
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

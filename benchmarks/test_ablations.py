@@ -1,0 +1,72 @@
+"""Ablation benchmarks for the G2G design choices (DESIGN.md §6)."""
+
+from repro.experiments import ablations
+
+from .conftest import run_once, save_and_print
+
+
+def test_fanout_ablation(benchmark, results_dir):
+    figure = run_once(benchmark, ablations.fanout_sweep)
+    save_and_print(results_dir, figure.figure_id, figure.render())
+    success = figure.series_by_label("Delivery %")
+    cost = figure.series_by_label("Cost (replicas)")
+    # More fanout -> more replicas; delivery does not decrease.
+    assert cost.ys == sorted(cost.ys)
+    assert success.ys[-1] >= success.ys[0] - 3.0
+
+
+def test_delta2_ablation(benchmark, results_dir):
+    figure = run_once(benchmark, ablations.delta2_sweep)
+    save_and_print(results_dir, figure.figure_id, figure.render())
+    series = figure.series_by_label("Detection rate %")
+    # A longer test window can only help detection (modulo noise).
+    assert series.ys[-1] >= series.ys[0] - 10.0
+    # The paper's Δ2 = 2Δ1 sits in the high-detection regime.
+    at_two = dict(zip(series.xs, series.ys))[2.0]
+    assert at_two > 60.0
+
+
+def test_timeframe_ablation(benchmark, results_dir):
+    figure = run_once(benchmark, ablations.timeframe_sweep)
+    save_and_print(results_dir, figure.figure_id, figure.render())
+    series = figure.series_by_label("Detection rate %")
+    # The paper's 34-minute frame detects liars.
+    at_34 = dict(zip(series.xs, series.ys))[34.0]
+    assert at_34 > 30.0
+
+
+def test_buffer_capacity_ablation(benchmark, results_dir):
+    figure = run_once(benchmark, ablations.buffer_capacity_sweep)
+    save_and_print(results_dir, figure.figure_id, figure.render())
+    delivery = figure.series_by_label("Delivery %")
+    convicted = figure.series_by_label("Honest nodes convicted")
+    by_capacity = dict(zip(delivery.xs, delivery.ys))
+    convicted_by_capacity = dict(zip(convicted.xs, convicted.ys))
+    # Unbounded buffers (x=0): the paper's regime, no false convictions.
+    assert convicted_by_capacity[0.0] == 0.0
+    # Under severe pressure honest nodes get falsely convicted and
+    # delivery collapses — the infinite-buffer assumption is
+    # load-bearing for the G2G test mechanism.
+    assert convicted_by_capacity[5.0] > 0.0
+    assert by_capacity[5.0] < by_capacity[0.0]
+
+
+def test_testers_ablation(benchmark, results_dir):
+    out = run_once(benchmark, ablations.testers_comparison)
+    text = "\n".join(f"{k}: {v:.2f}" for k, v in sorted(out.items()))
+    save_and_print(results_dir, "ablation-testers", text)
+    # Source-only auditing already catches (essentially) every dropper;
+    # every-giver auditing buys speed, at several times the audit work.
+    assert out["source_detection_rate"] >= 0.8
+    assert out["any_giver_detection_rate"] >= out["source_detection_rate"] - 0.1
+    assert out["any_giver_detection_minutes"] <= out["source_detection_minutes"]
+    assert out["any_giver_test_phases"] > 2 * out["source_test_phases"]
+
+
+def test_blacklist_ablation(benchmark, results_dir):
+    out = run_once(benchmark, ablations.blacklist_comparison)
+    text = "\n".join(f"{k}: {v:.2f}" for k, v in sorted(out.items()))
+    save_and_print(results_dir, "ablation-blacklist", text)
+    # Detection itself is detector-local: both modes convict.
+    assert out["instant_detection_rate"] > 0.5
+    assert out["gossip_detection_rate"] > 0.5

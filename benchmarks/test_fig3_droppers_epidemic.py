@@ -1,0 +1,22 @@
+"""Benchmark regenerating Fig. 3: droppers vs Epidemic Forwarding.
+
+Paper shape: delivery % decreases as droppers grow, collapsing toward
+the "source meets destination personally" floor; the with-outsiders
+curve tracks the plain one closely.
+"""
+
+from repro.experiments import fig3
+from repro.metrics import monotone_decreasing
+
+from .conftest import run_once, save_and_print
+
+
+def test_fig3(benchmark, quick, results_dir):
+    figures = run_once(benchmark, lambda: fig3.run(quick=quick))
+    for trace_name, figure in figures.items():
+        save_and_print(results_dir, figure.figure_id, figure.render())
+        for series in figure.series:
+            # monotone collapse (with replication-noise slack)
+            assert monotone_decreasing(series.ys, slack=8.0), series.label
+            # the all-droppers end is far below the honest start
+            assert series.ys[-1] < series.ys[0] - 10.0, series.label

@@ -1,0 +1,31 @@
+"""Benchmark regenerating Fig. 4: dropper detection in G2G Epidemic.
+
+Paper shape: detection time is minutes-scale, roughly independent of
+the number of droppers; the text reports detection probabilities of
+94.7% (plain) / 91.3% (with outsiders).
+"""
+
+from repro.experiments import fig4
+from repro.metrics import roughly_flat
+
+from .conftest import run_once, save_and_print
+
+
+def test_fig4(benchmark, quick, results_dir):
+    out = run_once(benchmark, lambda: fig4.run(quick=quick))
+    for trace_name, detection in out.items():
+        figure = detection.figure
+        rates = "\n".join(
+            f"detection probability [{label}]: {rate:.1%}"
+            for label, rate in detection.detection_rates.items()
+        )
+        save_and_print(
+            results_dir, figure.figure_id, figure.render() + "\n" + rates
+        )
+        for series in figure.series:
+            # minutes-scale detection (paper: 12-27 min after Δ1)
+            assert all(0.0 <= y < 60.0 for y in series.ys), series.label
+            # flat in the number of droppers
+            assert roughly_flat(series.ys, ratio=6.0), series.label
+        for label, rate in detection.detection_rates.items():
+            assert rate > 0.75, label

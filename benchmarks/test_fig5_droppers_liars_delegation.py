@@ -1,0 +1,21 @@
+"""Benchmark regenerating Fig. 5: droppers/liars vs Delegation Forwarding.
+
+Paper shape: both adversary kinds depress delivery substantially on
+both traces, in the plain and with-outsiders variants.
+"""
+
+from repro.experiments import fig5
+from repro.metrics import monotone_decreasing
+
+from .conftest import run_once, save_and_print
+
+
+def test_fig5(benchmark, quick, results_dir):
+    figures = run_once(benchmark, lambda: fig5.run(quick=quick))
+    for (panel, trace_name), figure in figures.items():
+        save_and_print(results_dir, figure.figure_id, figure.render())
+        for series in figure.series:
+            label = f"{figure.figure_id}/{series.label}"
+            assert monotone_decreasing(series.ys, slack=8.0), label
+            # a big impact on the success rate (paper's wording)
+            assert series.ys[-1] < series.ys[0] * 0.85, label

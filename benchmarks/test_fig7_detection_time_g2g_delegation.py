@@ -1,0 +1,23 @@
+"""Benchmark regenerating Fig. 7: detection time vs adversary count.
+
+Paper shape: the detection time of G2G Delegation does not depend on
+the number of selfish individuals.
+"""
+
+from repro.experiments import fig7
+from repro.metrics import roughly_flat
+
+from .conftest import run_once, save_and_print
+
+
+def test_fig7(benchmark, quick, results_dir):
+    figures = run_once(benchmark, lambda: fig7.run(quick=quick))
+    for trace_name, figure in figures.items():
+        save_and_print(results_dir, figure.figure_id, figure.render())
+        for series in figure.series:
+            label = f"{trace_name}/{series.label}"
+            detected = [y for y in series.ys if y > 0]
+            assert detected, label
+            # flat in the adversary count (wide tolerance: minutes-scale
+            # quantities over few detections are noisy)
+            assert roughly_flat(detected, ratio=8.0), label

@@ -1,0 +1,39 @@
+"""Benchmark regenerating Fig. 8: G2G vs vanilla performance.
+
+Paper shape assertions:
+
+* Epidemic costs far more replicas than any Delegation flavor;
+* each G2G variant costs less than its vanilla alter ego;
+* G2G memory stays "within a constant factor" of the alter ego
+  (Sec. VIII) — asserted at < 4x;
+* G2G success and delay stay in the neighborhood of the alter ego
+  (the paper reports "very close"; our synthetic traces concede a
+  slightly larger success gap, recorded in EXPERIMENTS.md).
+"""
+
+from repro.experiments import fig8
+
+from .conftest import run_once, save_and_print
+
+
+def test_fig8(benchmark, quick, results_dir):
+    panels = run_once(benchmark, lambda: fig8.run(quick=quick))
+    for trace_name, panel in panels.items():
+        save_and_print(results_dir, f"fig8-{trace_name}", panel.render())
+        epidemic = panel.point("epidemic")
+        for vanilla_name, g2g_name in fig8.PAIRINGS:
+            vanilla = panel.point(vanilla_name)
+            g2g = panel.point(g2g_name)
+            label = f"{trace_name}:{g2g_name}"
+            assert g2g.cost <= vanilla.cost, label
+            assert g2g.mean_delay_s < vanilla.mean_delay_s * 2.0, label
+            assert g2g.success_percent > vanilla.success_percent * 0.6, label
+            assert panel.memory_factor(vanilla_name, g2g_name) < 4.0, label
+        # Epidemic is the cost outlier.
+        for name in (
+            "delegation_last_contact",
+            "delegation_frequency",
+            "g2g_delegation_last_contact",
+            "g2g_delegation_frequency",
+        ):
+            assert epidemic.cost > 2 * panel.point(name).cost, trace_name

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: run Epidemic vs Give2Get Epidemic on a synthetic trace.
+
+Generates the Infocom 05 stand-in trace, slices the standard 3-hour
+evaluation window, runs both protocols on identical traffic, and
+prints the paper's headline comparison: G2G keeps delay and success
+close to Epidemic while creating fewer replicas — with every hand-off
+backed by a signed Proof of Relay.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    EpidemicForwarding,
+    G2GEpidemicForwarding,
+    Simulation,
+    SimulationConfig,
+    infocom05,
+    standard_window,
+)
+from repro.metrics import text_table
+
+
+def main() -> None:
+    print("Generating the Infocom 05 stand-in trace...")
+    synthetic = infocom05()
+    window = standard_window(synthetic)
+    trace = window.slice(synthetic.trace)
+    print(
+        f"  {trace.num_nodes} nodes, {len(trace)} contacts in the "
+        f"3-hour evaluation window\n"
+    )
+
+    config = SimulationConfig(ttl=30 * 60.0, seed=7)
+    rows = []
+    for protocol in (EpidemicForwarding(), G2GEpidemicForwarding()):
+        print(f"Simulating {protocol.name}...")
+        results = Simulation(trace, protocol, config).run()
+        rows.append(
+            [
+                protocol.name,
+                f"{results.success_rate:.1%}",
+                f"{results.mean_delay / 60:.1f} min",
+                f"{results.cost:.1f}",
+                results.generated,
+            ]
+        )
+
+    print()
+    print(
+        text_table(
+            ["protocol", "success", "mean delay", "replicas/msg", "messages"],
+            rows,
+        )
+    )
+    epidemic_cost = float(rows[0][3])
+    g2g_cost = float(rows[1][3])
+    print(
+        f"\nG2G Epidemic created {1 - g2g_cost / epidemic_cost:.0%} fewer "
+        "replicas than vanilla Epidemic (the give-2 rule at work)."
+    )
+
+
+if __name__ == "__main__":
+    main()

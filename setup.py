@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (no `wheel` package offline).
+
+All real metadata lives in pyproject.toml; this file exists so that
+``pip install -e . --no-use-pep517 --no-build-isolation`` works in the
+offline environment.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,103 @@
+"""Give2Get: incentive-compatible forwarding for pocket switched networks.
+
+A from-scratch reproduction of Mei & Stefa, *"Give2Get: Forwarding in
+Social Mobile Wireless Networks of Selfish Individuals"* (ICDCS 2010):
+the G2G Epidemic and G2G Delegation forwarding protocols, the vanilla
+baselines, a contact-trace-driven DTN simulator, synthetic stand-ins
+for the CRAWDAD evaluation traces, the dropper/liar/cheater adversary
+models, and a harness regenerating every table and figure of the
+paper's evaluation.
+
+Quickstart::
+
+    from repro import (
+        Simulation, SimulationConfig, G2GEpidemicForwarding,
+        infocom05, standard_window,
+    )
+
+    synthetic = infocom05()
+    trace = standard_window(synthetic).slice(synthetic.trace)
+    config = SimulationConfig(ttl=30 * 60.0, seed=7)
+    results = Simulation(trace, G2GEpidemicForwarding(), config).run()
+    print(f"delivered {results.success_rate:.0%} at cost {results.cost:.1f}")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from .adversaries import (
+    Cheater,
+    Dodger,
+    Dropper,
+    Liar,
+    OutsiderConditioned,
+    Strategy,
+    make_strategy,
+    strategy_population,
+)
+from .core import (
+    G2GDelegationForwarding,
+    G2GEpidemicForwarding,
+    GossipBlacklist,
+    InstantBlacklist,
+    ProofOfMisbehavior,
+)
+from .protocols import (
+    DelegationForwarding,
+    EpidemicForwarding,
+    ForwardingProtocol,
+)
+from .sim import (
+    Message,
+    Simulation,
+    SimulationConfig,
+    SimulationResults,
+    config_for,
+    run_simulation,
+)
+from .social import CommunityMap
+from .traces import (
+    Contact,
+    ContactTrace,
+    cambridge06,
+    infocom05,
+    load_trace,
+    standard_window,
+    trace_by_name,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cheater",
+    "CommunityMap",
+    "Dodger",
+    "Contact",
+    "ContactTrace",
+    "DelegationForwarding",
+    "Dropper",
+    "EpidemicForwarding",
+    "ForwardingProtocol",
+    "G2GDelegationForwarding",
+    "G2GEpidemicForwarding",
+    "GossipBlacklist",
+    "InstantBlacklist",
+    "Liar",
+    "Message",
+    "OutsiderConditioned",
+    "ProofOfMisbehavior",
+    "Simulation",
+    "SimulationConfig",
+    "SimulationResults",
+    "Strategy",
+    "cambridge06",
+    "config_for",
+    "infocom05",
+    "load_trace",
+    "make_strategy",
+    "run_simulation",
+    "standard_window",
+    "strategy_population",
+    "trace_by_name",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Adversary strategies: droppers, liars, cheaters, and variants."""
+
+from .base import HONEST, OutsiderConditioned, Strategy
+from .cheaters import Cheater
+from .dodgers import Dodger
+from .droppers import Dropper
+from .factory import DEVIATIONS, make_strategy, strategy_population
+from .liars import Liar
+
+__all__ = [
+    "Cheater",
+    "DEVIATIONS",
+    "Dodger",
+    "Dropper",
+    "HONEST",
+    "Liar",
+    "OutsiderConditioned",
+    "Strategy",
+    "make_strategy",
+    "strategy_population",
+]

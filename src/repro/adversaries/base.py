@@ -1,0 +1,160 @@
+"""Node strategies: the honest baseline and the deviation hook points.
+
+The paper's game-theoretic analysis enumerates the *rational* ways a
+selfish node can deviate: dropping relayed messages (Sec. V), lying
+about forwarding quality, and cheating on a carried message's quality
+label (Sec. VI).  Rather than forking the protocols per adversary, the
+protocols consult a per-node :class:`Strategy` at exactly the decision
+points where deviation is possible:
+
+* :meth:`Strategy.keep_relayed_copy` — right after the relay phase
+  completes (the dropper's moment);
+* :meth:`Strategy.declared_quality` — when asked for a forwarding
+  quality (the liar's moment, step 9 of Fig. 6);
+* :meth:`Strategy.forwarded_message_quality` — when labelling a
+  message about to be relayed (the cheater's moment, step 10).
+
+Every hook receives the *peer* of the ongoing session so that
+"selfish with outsiders" variants (Sec. V-A) can deviate only against
+members of other communities.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..traces.trace import NodeId
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..sim.messages import Message
+
+
+class Strategy:
+    """The honest (protocol-faithful) strategy.
+
+    Subclasses override individual hooks; anything not overridden
+    behaves faithfully.  The ``deviates`` flag marks strategies the
+    experiment harness should count as misbehaving when computing
+    detection rates.
+    """
+
+    #: short label used in experiment tables.
+    name: str = "honest"
+    #: True for strategies that deviate from the protocol.
+    deviates: bool = False
+
+    def accept_session(
+        self,
+        node: NodeId,
+        peer: NodeId,
+        now: float,
+        pending_givers: frozenset,
+    ) -> bool:
+        """Decide whether to open a session with ``peer`` at all.
+
+        The paper argues refusing sessions ("shut off the radio every
+        time node B meets node A") to dodge a test phase is irrational
+        because the refuser also forfeits messages destined to itself
+        (Sec. IV-C).  ``pending_givers`` contains the peers this node
+        still owes proof-or-storage for — the information a dodger
+        would act on.  Honest nodes always accept.
+        """
+        return True
+
+    def keep_relayed_copy(
+        self,
+        node: NodeId,
+        message: "Message",
+        giver: Optional[NodeId],
+        now: float,
+    ) -> bool:
+        """Decide whether to keep a copy received as a *relay*.
+
+        Called after the relay phase has fully completed (the proof of
+        relay is already signed — exactly when the paper's droppers
+        strike).  Never called when the node is the destination: a
+        message for yourself is always kept.
+
+        Returns:
+            True to keep the copy (honest), False to drop it.
+        """
+        return True
+
+    def declared_quality(
+        self,
+        node: NodeId,
+        destination: NodeId,
+        true_value: float,
+        peer: NodeId,
+        now: float,
+    ) -> float:
+        """The forwarding quality reported in an FQ_RESP.
+
+        Honest nodes report ``true_value`` (the quality from the last
+        completed timeframe).  Liars claim zero.
+        """
+        return true_value
+
+    def forwarded_message_quality(
+        self,
+        node: NodeId,
+        message: "Message",
+        true_value: float,
+        peer: NodeId,
+        now: float,
+    ) -> float:
+        """The quality label attached to a message being relayed.
+
+        Honest nodes propagate the true label; cheaters lower it so
+        the first nodes they meet qualify as relays.
+        """
+        return true_value
+
+
+#: Singleton honest strategy shared by all faithful nodes.
+HONEST = Strategy()
+
+
+class OutsiderConditioned(Strategy):
+    """Wrapper making any deviation apply only against outsiders.
+
+    "Nodes that are selfish with outsiders deviate from the protocol
+    only in sessions with nodes from other communities." (Sec. V-A)
+
+    The community oracle is injected by the experiment harness (a
+    :class:`repro.social.CommunityMap` or a ground-truth assignment
+    exposing ``same_community``).
+    """
+
+    def __init__(self, inner: Strategy, community) -> None:
+        if not inner.deviates:
+            raise ValueError("wrapping an honest strategy is pointless")
+        self._inner = inner
+        self._community = community
+        self.name = f"{inner.name}_with_outsiders"
+        self.deviates = True
+
+    def _outsider(self, node: NodeId, peer: Optional[NodeId]) -> bool:
+        """True when ``peer`` is outside ``node``'s community."""
+        if peer is None:
+            return False
+        return not self._community.same_community(node, peer)
+
+    def keep_relayed_copy(self, node, message, giver, now):
+        if self._outsider(node, giver):
+            return self._inner.keep_relayed_copy(node, message, giver, now)
+        return True
+
+    def declared_quality(self, node, destination, true_value, peer, now):
+        if self._outsider(node, peer):
+            return self._inner.declared_quality(
+                node, destination, true_value, peer, now
+            )
+        return true_value
+
+    def forwarded_message_quality(self, node, message, true_value, peer, now):
+        if self._outsider(node, peer):
+            return self._inner.forwarded_message_quality(
+                node, message, true_value, peer, now
+            )
+        return true_value

@@ -1,0 +1,27 @@
+"""Forwarding-quality cheaters.
+
+"Selfish nodes can change the forwarding quality of the message to
+zero, in such a way to get rid of the message soon — they would be
+able to relay it to the first two nodes they meet." (Sec. VI)
+In the experiments "cheaters are those who lower the quality rate
+within a message to be relayed (in order to get rid of it as soon as
+possible)" (Sec. VII).
+
+Cheating is only rational in the G2G variant (in vanilla Delegation a
+lower label means *more* forwarding work for the cheater, Sec. VII),
+so the experiment harness only pairs cheaters with G2G Delegation.
+"""
+
+from __future__ import annotations
+
+from .base import Strategy
+
+
+class Cheater(Strategy):
+    """Lowers the quality label of every message it relays to zero."""
+
+    name = "cheater"
+    deviates = True
+
+    def forwarded_message_quality(self, node, message, true_value, peer, now):
+        return 0.0

@@ -1,0 +1,29 @@
+"""Test-dodging droppers.
+
+Sec. IV-C of the paper: "Note that it is not a rational strategy to
+shut off the radio every time node B meets node A in such a way to
+avoid the test phase.  Indeed, in this case node B will not receive
+other messages destined to itself ... Therefore, node B would
+experience a reduced quality of the service that makes its payoff
+drop."
+
+The :class:`Dodger` makes that argument measurable: it drops every
+relayed message (like a :class:`~repro.adversaries.droppers.Dropper`)
+*and* refuses to open sessions with any peer it still owes a test
+answer to.  The `test_nash_equilibrium` benchmark and the dodger
+integration tests quantify what the refusals cost.
+"""
+
+from __future__ import annotations
+
+from .droppers import Dropper
+
+
+class Dodger(Dropper):
+    """Drops relayed messages and ducks the peers that could test it."""
+
+    name = "dodger"
+    deviates = True
+
+    def accept_session(self, node, peer, now, pending_givers):
+        return peer not in pending_givers

@@ -1,0 +1,22 @@
+"""Message droppers.
+
+"Message droppers — nodes that use the system to send and receive
+messages and that just drop every message they happen to relay."
+(Sec. V)  Droppers participate in relay phases normally (they cannot
+profitably refuse: the destination is hidden until after the proof of
+relay is signed) and discard the copy immediately afterwards.
+"""
+
+from __future__ import annotations
+
+from .base import Strategy
+
+
+class Dropper(Strategy):
+    """Drops every relayed message right after the relay phase."""
+
+    name = "dropper"
+    deviates = True
+
+    def keep_relayed_copy(self, node, message, giver, now):
+        return False

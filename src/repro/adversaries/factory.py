@@ -1,0 +1,94 @@
+"""Assembling per-node strategy maps for experiments.
+
+An experiment needs "N misbehaving nodes of kind K, everyone else
+honest".  :func:`strategy_population` draws the misbehaving subset
+reproducibly and wires up the outsider-conditioned variants with a
+community oracle when requested.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Sequence, Tuple
+
+from ..traces.trace import NodeId
+from .base import HONEST, OutsiderConditioned, Strategy
+from .cheaters import Cheater
+from .dodgers import Dodger
+from .droppers import Dropper
+from .liars import Liar
+
+#: Registry of deviation kinds by their experiment-table names.
+DEVIATIONS: Dict[str, Callable[[], Strategy]] = {
+    "dropper": Dropper,
+    "liar": Liar,
+    "cheater": Cheater,
+    "dodger": Dodger,
+}
+
+
+def make_strategy(kind: str, community=None) -> Strategy:
+    """Instantiate a deviation strategy by name.
+
+    Args:
+        kind: "dropper", "liar", or "cheater"; append
+            "_with_outsiders" for the community-conditioned variant
+            (requires ``community``).
+        community: oracle with ``same_community(a, b)``; required for
+            the with-outsiders variants.
+
+    Raises:
+        KeyError: on unknown kinds.
+        ValueError: if a with-outsiders kind lacks a community oracle.
+    """
+    base_kind = kind
+    with_outsiders = kind.endswith("_with_outsiders")
+    if with_outsiders:
+        base_kind = kind[: -len("_with_outsiders")]
+    if base_kind not in DEVIATIONS:
+        raise KeyError(
+            f"unknown deviation {kind!r}; expected one of "
+            f"{sorted(DEVIATIONS)} (optionally + '_with_outsiders')"
+        )
+    strategy = DEVIATIONS[base_kind]()
+    if with_outsiders:
+        if community is None:
+            raise ValueError(
+                f"{kind!r} requires a community oracle"
+            )
+        strategy = OutsiderConditioned(strategy, community)
+    return strategy
+
+
+def strategy_population(
+    nodes: Sequence[NodeId],
+    kind: str,
+    count: int,
+    seed: int,
+    community=None,
+) -> Tuple[Dict[NodeId, Strategy], Tuple[NodeId, ...]]:
+    """Build a strategy map with ``count`` deviating nodes.
+
+    The deviating subset is sampled uniformly from ``nodes`` with a
+    dedicated RNG stream so it is stable across protocol variants at
+    equal seeds (the paper compares protocols on identical adversary
+    placements).
+
+    Returns:
+        ``(strategies, misbehaving)`` — a full per-node map (honest
+        nodes share the :data:`~repro.adversaries.base.HONEST`
+        singleton) and the sorted tuple of deviating node ids.
+
+    Raises:
+        ValueError: if ``count`` exceeds the population size.
+    """
+    if count < 0 or count > len(nodes):
+        raise ValueError(
+            f"cannot place {count} deviating nodes among {len(nodes)}"
+        )
+    rng = random.Random(f"{seed}|adversaries|{kind}")
+    misbehaving = tuple(sorted(rng.sample(list(nodes), count)))
+    strategies: Dict[NodeId, Strategy] = {n: HONEST for n in nodes}
+    for node in misbehaving:
+        strategies[node] = make_strategy(kind, community)
+    return strategies, misbehaving

@@ -1,0 +1,22 @@
+"""Forwarding-quality liars.
+
+"Nodes can lie on their forwarding quality.  They can claim that their
+quality is zero ... these nodes would get their messages served without
+participating actively." (Sec. VI)  In the experiments "liars are
+those who report a forwarding quality equal to 0 any time they're
+asked to" (Sec. VII).
+"""
+
+from __future__ import annotations
+
+from .base import Strategy
+
+
+class Liar(Strategy):
+    """Always declares forwarding quality zero."""
+
+    name = "liar"
+    deviates = True
+
+    def declared_quality(self, node, destination, true_value, peer, now):
+        return 0.0

@@ -1,0 +1,251 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``simulate`` — one simulation run: trace × protocol × adversaries,
+  printing the headline metrics (and the conviction list for G2G
+  runs).
+* ``experiment`` — regenerate one paper table/figure (fig3, fig4,
+  fig5, fig7, fig8, table1) and print its text rendering.
+* ``trace`` — generate a synthetic evaluation trace, print its
+  profile, and optionally save it in the CRAWDAD-style text format.
+* ``communities`` — run k-clique community detection on a trace.
+
+Examples::
+
+    python -m repro simulate --trace infocom05 --protocol g2g_epidemic \
+        --adversary dropper --count 10
+    python -m repro experiment fig8
+    python -m repro trace --trace cambridge06 --out cambridge06.contacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .adversaries import strategy_population
+from .experiments import (
+    LABELS,
+    PROTOCOLS,
+    evaluation_community,
+    evaluation_trace,
+    standard_config,
+)
+from .sim import Simulation
+from .social import CommunityMap
+from .traces import TraceProfile, save_trace, trace_by_name
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Give2Get (ICDCS 2010) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="run one simulation")
+    simulate.add_argument(
+        "--trace", choices=("infocom05", "cambridge06"), default="infocom05"
+    )
+    simulate.add_argument(
+        "--protocol", choices=sorted(PROTOCOLS), default="g2g_epidemic"
+    )
+    simulate.add_argument(
+        "--adversary",
+        default=None,
+        help="deviation kind (dropper/liar/cheater, optionally "
+        "+ _with_outsiders)",
+    )
+    simulate.add_argument("--count", type=int, default=0,
+                          help="number of deviating nodes")
+    simulate.add_argument("--seed", type=int, default=1)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    experiment.add_argument(
+        "name",
+        choices=("fig3", "fig4", "fig5", "fig7", "fig8", "table1"),
+    )
+    experiment.add_argument(
+        "--full", action="store_true", help="full paper grids (slow)"
+    )
+
+    trace = sub.add_parser("trace", help="generate and inspect a trace")
+    trace.add_argument(
+        "--trace", choices=("infocom05", "cambridge06"), default="infocom05"
+    )
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--out", default=None, help="save to this path")
+
+    sweep = sub.add_parser(
+        "sweep", help="run an archived, resumable adversary sweep"
+    )
+    sweep.add_argument(
+        "--trace", choices=("infocom05", "cambridge06"), default="infocom05"
+    )
+    sweep.add_argument(
+        "--protocol", choices=sorted(PROTOCOLS), default="g2g_epidemic"
+    )
+    sweep.add_argument("--adversary", default="dropper")
+    sweep.add_argument(
+        "--counts", default="0,10,20,30",
+        help="comma-separated adversary counts",
+    )
+    sweep.add_argument("--seeds", default="1,2", help="comma-separated seeds")
+    sweep.add_argument("--archive", default="sweep-runs",
+                       help="archive directory")
+    sweep.add_argument("--csv", default=None, help="also export CSV here")
+
+    communities = sub.add_parser(
+        "communities", help="k-clique community detection"
+    )
+    communities.add_argument(
+        "--trace", choices=("infocom05", "cambridge06"), default="infocom05"
+    )
+    communities.add_argument("--k", type=int, default=3)
+    communities.add_argument("--quantile", type=float, default=0.9)
+    return parser
+
+
+def cmd_simulate(args) -> int:
+    family, factory = PROTOCOLS[args.protocol]
+    trace = evaluation_trace(args.trace)
+    config = standard_config(args.trace, family, args.seed)
+    community = evaluation_community(args.trace)
+    strategies = None
+    misbehaving = ()
+    if args.adversary and args.count > 0:
+        strategies, misbehaving = strategy_population(
+            trace.nodes, args.adversary, args.count,
+            seed=args.seed, community=community,
+        )
+        print(
+            f"planted {args.count} x {args.adversary}: "
+            f"nodes {list(misbehaving)}"
+        )
+    results = Simulation(
+        trace, factory(), config, strategies=strategies, community=community
+    ).run()
+    print(f"protocol : {LABELS[args.protocol]} on {args.trace}")
+    print(f"messages : {results.generated} generated, "
+          f"{results.delivered} delivered ({results.success_rate:.1%})")
+    print(f"delay    : mean {results.mean_delay / 60:.1f} min, "
+          f"median {results.median_delay / 60:.1f} min")
+    print(f"cost     : {results.cost:.2f} replicas/message")
+    print(f"energy   : {results.total_energy:.1f} J network-wide")
+    if misbehaving:
+        print(
+            f"detection: {results.detection_rate(misbehaving):.0%} of "
+            f"misbehaving nodes convicted, "
+            f"{len(results.false_positives(misbehaving))} false positives"
+        )
+        for offender, record in sorted(results.first_detections().items()):
+            print(
+                f"  node {offender} convicted as {record.deviation} "
+                f"by node {record.detector} at {record.time / 60:.0f} min"
+            )
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from .experiments import fig3, fig4, fig5, fig7, fig8, table1
+
+    quick = not args.full
+    if args.name == "fig3":
+        for figure in fig3.run(quick=quick).values():
+            print(figure.render())
+    elif args.name == "fig4":
+        for detection in fig4.run(quick=quick).values():
+            print(detection.figure.render())
+            for label, rate in detection.detection_rates.items():
+                print(f"detection probability [{label}]: {rate:.1%}")
+    elif args.name == "fig5":
+        for figure in fig5.run(quick=quick).values():
+            print(figure.render())
+    elif args.name == "fig7":
+        for figure in fig7.run(quick=quick).values():
+            print(figure.render())
+    elif args.name == "fig8":
+        for panel in fig8.run(quick=quick).values():
+            print(panel.render())
+    else:
+        print(table1.run(quick=quick).render())
+    return 0
+
+
+def cmd_trace(args) -> int:
+    synthetic = trace_by_name(args.trace, seed=args.seed)
+    print(TraceProfile.of(synthetic.trace).describe())
+    truth = synthetic.assignment
+    print(
+        f"  ground-truth communities: "
+        f"{[len(truth.members(c)) for c in range(truth.num_communities)]}, "
+        f"travelers {list(truth.travelers)}"
+    )
+    if args.out:
+        save_trace(synthetic.trace, args.out)
+        print(f"  saved to {args.out}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from .experiments.sweeps import SweepRunner, dropper_grid
+
+    counts = tuple(int(c) for c in args.counts.split(","))
+    seeds = tuple(int(s) for s in args.seeds.split(","))
+    sweep_name = f"{args.trace}-{args.protocol}-{args.adversary}"
+    runner = SweepRunner(
+        archive_dir=args.archive,
+        sweep=sweep_name,
+        on_result=lambda spec, results, cached: print(
+            f"  [{'cached' if cached else 'ran   '}] {spec.spec_id}: "
+            f"success {results.success_rate:.1%}, "
+            f"{len(results.detections)} PoMs"
+        ),
+    )
+    specs = dropper_grid(
+        args.trace, args.protocol, counts=counts, seeds=seeds,
+        deviation=args.adversary,
+    )
+    print(f"sweep {sweep_name}: {len(specs)} runs -> {runner.path_for(specs[0]).parent}")
+    runner.run_all(specs)
+    if args.csv:
+        written = runner.summary_csv(args.csv)
+        print(f"wrote {written} summary rows to {args.csv}")
+    return 0
+
+
+def cmd_communities(args) -> int:
+    synthetic = trace_by_name(args.trace)
+    cmap = CommunityMap.detect(
+        synthetic.trace, k=args.k, edge_quantile=args.quantile
+    )
+    print(
+        f"{cmap.num_communities} communities "
+        f"(k={args.k}, edge quantile {args.quantile}), "
+        f"coverage {cmap.coverage():.0%}"
+    )
+    for i, community in enumerate(cmap.communities):
+        print(f"  community {i}: {sorted(community)}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "simulate": cmd_simulate,
+        "experiment": cmd_experiment,
+        "trace": cmd_trace,
+        "communities": cmd_communities,
+        "sweep": cmd_sweep,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,122 @@
+"""Blacklist propagation: how proofs of misbehavior spread.
+
+When a test fails, the detector "can broadcast a proof of misbehavior
+(PoM) to the whole network that, in turn, will remove node B"
+(Sec. IV-B).  The paper assumes the broadcast reaches everyone; in a
+disconnected DTN an implementation would piggyback PoMs on contacts.
+Both models are provided:
+
+* :class:`InstantBlacklist` — the paper's assumption: one PoM and the
+  offender is immediately invisible to every node.
+* :class:`GossipBlacklist` — epidemic dissemination of PoMs during
+  contacts; each node only shuns offenders it has heard about.  The
+  ablation benchmark compares the two.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Dict, List, Set
+
+from ..traces.trace import NodeId
+
+
+@dataclass(frozen=True)
+class ProofOfMisbehavior:
+    """Evidence that a node deviated.
+
+    Attributes:
+        offender: the incriminated node.
+        detector: who produced the proof.
+        msg_id: the message whose handling failed the test.
+        deviation: "dropper" / "liar" / "cheater".
+        issued_at: detection time.
+        evidence: the signed artifact backing the claim (a PoR the
+            offender signed, or a signed false FQ_RESP) — opaque here.
+    """
+
+    offender: NodeId
+    detector: NodeId
+    msg_id: int
+    deviation: str
+    issued_at: float
+    evidence: Any = None
+
+
+class BlacklistService(ABC):
+    """Tracks who knows which nodes have been convicted."""
+
+    @abstractmethod
+    def publish(self, pom: ProofOfMisbehavior) -> None:
+        """Register a fresh PoM from its detector."""
+
+    @abstractmethod
+    def knows(self, observer: NodeId, offender: NodeId) -> bool:
+        """True if ``observer`` has learned of a PoM against ``offender``."""
+
+    @abstractmethod
+    def on_contact(self, a: NodeId, b: NodeId, now: float) -> None:
+        """Exchange blacklist knowledge during a contact."""
+
+    @abstractmethod
+    def convicted(self) -> Set[NodeId]:
+        """All nodes with at least one published PoM."""
+
+
+class InstantBlacklist(BlacklistService):
+    """Network-wide immediate PoM visibility (the paper's model)."""
+
+    def __init__(self) -> None:
+        self._convicted: Set[NodeId] = set()
+        self.poms: List[ProofOfMisbehavior] = []
+
+    def publish(self, pom: ProofOfMisbehavior) -> None:
+        self._convicted.add(pom.offender)
+        self.poms.append(pom)
+
+    def knows(self, observer: NodeId, offender: NodeId) -> bool:
+        return offender in self._convicted
+
+    def on_contact(self, a: NodeId, b: NodeId, now: float) -> None:
+        # Nothing to exchange: knowledge is global.
+        return None
+
+    def convicted(self) -> Set[NodeId]:
+        return set(self._convicted)
+
+
+class GossipBlacklist(BlacklistService):
+    """Contact-time epidemic dissemination of PoMs.
+
+    The detector knows immediately; every contact unions the two
+    endpoints' knowledge (PoMs are tiny signed records, so flooding
+    them is cheap and — unlike message flooding — incentive-compatible:
+    spreading a PoM protects the spreader from wasting relays on a
+    convicted node).
+    """
+
+    def __init__(self) -> None:
+        self._known: Dict[NodeId, Set[NodeId]] = {}
+        self.poms: List[ProofOfMisbehavior] = []
+
+    def publish(self, pom: ProofOfMisbehavior) -> None:
+        self.poms.append(pom)
+        self._known.setdefault(pom.detector, set()).add(pom.offender)
+
+    def knows(self, observer: NodeId, offender: NodeId) -> bool:
+        return offender in self._known.get(observer, set())
+
+    def on_contact(self, a: NodeId, b: NodeId, now: float) -> None:
+        known_a = self._known.setdefault(a, set())
+        known_b = self._known.setdefault(b, set())
+        merged = known_a | known_b
+        known_a |= merged
+        known_b |= merged
+
+    def convicted(self) -> Set[NodeId]:
+        return {pom.offender for pom in self.poms}
+
+    def awareness(self, offender: NodeId) -> int:
+        """How many nodes currently know about ``offender``."""
+        return sum(1 for known in self._known.values() if offender in known)

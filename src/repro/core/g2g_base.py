@@ -1,0 +1,598 @@
+"""Shared machinery of the Give2Get protocols.
+
+Both G2G Epidemic and G2G Delegation are built from the same parts
+(Sections IV and VI of the paper):
+
+* **message generation** — the source seals the body to the
+  destination's public key and signs the result; relays see the
+  destination but never the sender;
+* **the relay phase** — the 5-step signed handshake of Fig. 1 (with
+  the quality negotiation of Fig. 6 in the delegation variant),
+  ending in a Proof of Relay signed by the taker;
+* **the give-2 rule** — every holder forwards to at most
+  ``config.relay_fanout`` (= 2) other nodes, then may discard the
+  body, keeping the proofs until Δ2;
+* **the test phase** — when the *source* of a message re-meets one of
+  its direct relays in the window (Δ1, Δ2], it demands either the two
+  proofs of relay or a heavy-HMAC storage proof; failure yields a
+  Proof of Misbehavior, broadcast through the blacklist service.
+
+Subclasses plug in the relay admission rule (epidemic: "has not seen
+it"; delegation: the quality negotiation) and the extra checks
+(delegation: the cheater chain check in the test by the sender and
+the liar check in the test by the destination).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..crypto.hashing import HeavyHmac
+from ..crypto.keys import Authority, NodeIdentity
+from ..crypto.provider import CryptoProvider, SimulatedCryptoProvider
+from ..protocols.base import ForwardingProtocol, make_room
+from ..sim.eventlog import EventType
+from ..sim.messages import Message, StoredCopy
+from ..sim.node import NodeState
+from ..sim.results import DetectionRecord
+from ..traces.trace import NodeId
+from .blacklist import ProofOfMisbehavior
+from .proofs import (
+    make_proof_of_relay,
+    make_storage_proof,
+    open_message,
+    random_seed,
+    seal_message,
+    verify_proof_of_relay,
+    verify_storage_proof,
+)
+from .wire import CONTROL_MESSAGE_SIZE, SealedMessage
+
+
+@dataclass
+class RelayPlan:
+    """Outcome of the pre-relay negotiation for one (copy, taker) pair.
+
+    ``None`` from :meth:`Give2GetBase._negotiate` means "do not relay";
+    otherwise this bundle parameterizes the hand-off.
+    """
+
+    quality_subject: Optional[NodeId] = None
+    message_quality: Optional[float] = None
+    taker_quality: Optional[float] = None
+    new_copy_quality: float = 0.0
+    attachments: List[Any] = field(default_factory=list)
+    declaration: Any = None
+
+
+@dataclass
+class _SourceRecord:
+    """What a giver remembers about a message it handed out.
+
+    In the paper only the *source* keeps (and acts on) this record —
+    the test phase "is started only by the source of the message".
+    The ``testers="any_giver"`` ablation also creates records at
+    intermediate relays; ``is_source`` keeps the source-only duties
+    (embedding failed declarations) from leaking to relays.
+    """
+
+    message: Message
+    is_source: bool = True
+    takers: List[NodeId] = field(default_factory=list)
+    tested: Set[NodeId] = field(default_factory=set)
+    # Delegation: taker -> the quality declaration given at hand-off.
+    taker_declarations: Dict[NodeId, Any] = field(default_factory=dict)
+    # Delegation: signed declarations of candidates that failed.
+    failed_declarations: List[Any] = field(default_factory=list)
+
+
+class Give2GetBase(ForwardingProtocol):
+    """Common implementation of the two Give2Get protocols.
+
+    Args:
+        provider: crypto provider (default: the fast simulated one).
+        testers: who initiates test phases.  ``"source"`` (default) is
+            the paper's protocol — only the message source audits its
+            direct relays, which is what makes testing incentive-
+            compatible.  ``"any_giver"`` has every relay audit its own
+            takers too; it is NOT a Nash equilibrium (relays gain
+            nothing from spending energy on tests) and exists purely
+            as an ablation of detection speed vs audit effort.
+    """
+
+    family = "epidemic"
+
+    TESTER_MODES = ("source", "any_giver")
+
+    def __init__(
+        self,
+        provider: Optional[CryptoProvider] = None,
+        testers: str = "source",
+    ) -> None:
+        super().__init__()
+        if testers not in self.TESTER_MODES:
+            raise ValueError(
+                f"testers must be one of {self.TESTER_MODES}, got {testers!r}"
+            )
+        self._provider = provider
+        self.testers = testers
+
+    # -- lifecycle ------------------------------------------------------
+
+    def bind(self, ctx) -> None:
+        super().bind(ctx)
+        provider = self._provider or SimulatedCryptoProvider(ctx.rng)
+        self.authority = Authority(provider)
+        self.identities: Dict[NodeId, NodeIdentity] = {
+            node_id: self.authority.enroll(node_id) for node_id in ctx.nodes
+        }
+        self.heavy_hmac = HeavyHmac(ctx.config.heavy_hmac_iterations)
+        self._sealed: Dict[int, SealedMessage] = {}
+        self._wire_bytes: Dict[int, bytes] = {}
+        self._hash: Dict[int, bytes] = {}
+        self._sources: Dict[NodeId, Dict[int, _SourceRecord]] = {
+            node_id: {} for node_id in ctx.nodes
+        }
+
+    # -- event hooks ----------------------------------------------------
+
+    def on_message_generated(self, message: Message, now: float) -> None:
+        source = self.ctx.node(message.source)
+        identity = self.identities[message.source]
+        destination_cert = self.identities[message.destination].certificate
+        body = b"payload-%d" % message.msg_id
+        sealed = seal_message(identity, destination_cert, message.msg_id, body)
+        self._sealed[message.msg_id] = sealed
+        wire = sealed.wire_bytes()
+        self._wire_bytes[message.msg_id] = wire
+        self._hash[message.msg_id] = sealed.content_hash()
+        self._charge_signature(message.source)
+        self._sources[message.source][message.msg_id] = _SourceRecord(
+            message=message
+        )
+        source.store(
+            StoredCopy(message=message, received_at=now,
+                       quality=self._initial_quality(message, now)),
+            now,
+            self.ctx.results,
+        )
+        for peer in list(self.ctx.active_neighbors(message.source)):
+            if self.ctx.usable_pair(message.source, peer):
+                self._offer(source, self.ctx.node(peer), now)
+
+    def on_contact_start(self, a: NodeId, b: NodeId, now: float) -> None:
+        node_a, node_b = self.ctx.node(a), self.ctx.node(b)
+        self._housekeeping(node_a, now)
+        self._housekeeping(node_b, now)
+        # Session establishment: a selfish node may refuse ("shut off
+        # the radio") to dodge a test phase — forfeiting everything the
+        # contact would have carried, including its own messages.
+        if not (
+            node_a.strategy.accept_session(
+                a, b, now, self._pending_givers(node_a, now)
+            )
+            and node_b.strategy.accept_session(
+                b, a, now, self._pending_givers(node_b, now)
+            )
+        ):
+            self.ctx.results.session_refusals += 1
+            return
+        # Test phases first: a pending test settles accounts before new
+        # relays open between the same two nodes.
+        self._run_tests(node_a, node_b, now)
+        if not node_b.evicted:
+            self._run_tests(node_b, node_a, now)
+        for giver, taker in ((node_a, node_b), (node_b, node_a)):
+            if giver.evicted or taker.evicted:
+                continue
+            self._offer(giver, taker, now)
+
+    def _pending_givers(self, node: NodeState, now: float) -> frozenset:
+        """Peers this node could not answer a test from right now.
+
+        Derived from the messages the node took (it knows its givers)
+        whose Δ2 window is still open and for which it holds neither
+        two proofs nor the body — the exact exposure a test-dodging
+        strategy would act on.  Honest nodes always have an answer, so
+        their set is empty.
+        """
+        taken = node.extra.get("taken")
+        if not taken:
+            return frozenset()
+        fanout = self.ctx.config.relay_fanout
+        pending = set()
+        for msg_id, (giver, deadline) in list(taken.items()):
+            if now > deadline:
+                del taken[msg_id]
+                continue
+            copy = node.buffer.get(msg_id)
+            if copy is None:
+                pending.add(giver)
+            elif copy.body_dropped and len(copy.proofs) < fanout:
+                pending.add(giver)  # pragma: no cover - defensive
+        return frozenset(pending)
+
+    def finalize(self, now: float) -> None:
+        super().finalize(now)
+
+    # -- subclass hooks ---------------------------------------------------
+
+    def _initial_quality(self, message: Message, now: float) -> float:
+        """Quality label of a freshly generated message (delegation)."""
+        return 0.0
+
+    def _negotiate(
+        self,
+        giver: NodeState,
+        taker: NodeState,
+        copy: StoredCopy,
+        now: float,
+    ) -> Optional[RelayPlan]:
+        """Decide whether and how to relay ``copy`` to ``taker``.
+
+        The epidemic base relays unconditionally (the seen-check ran
+        already); delegation overrides with the quality negotiation.
+        """
+        return RelayPlan()
+
+    def _after_relay(
+        self,
+        giver: NodeState,
+        record: Optional[_SourceRecord],
+        taker: NodeState,
+        plan: RelayPlan,
+        declaration: Any,
+        now: float,
+    ) -> None:
+        """Source-side bookkeeping after a successful relay (delegation)."""
+
+    def _chain_violation(
+        self,
+        record: _SourceRecord,
+        taker: NodeId,
+        proofs: List[Any],
+        now: float,
+    ) -> Optional[Any]:
+        """Cheater check over the two PoRs (delegation only).
+
+        Returns the incriminating evidence, or None when clean.
+        """
+        return None
+
+    def _on_delivered(
+        self, taker: NodeState, copy_attachments: List[Any], message: Message,
+        now: float,
+    ) -> None:
+        """Destination-side processing (delegation: the liar test)."""
+
+    # -- the relay phase --------------------------------------------------
+
+    def _offer(self, giver: NodeState, taker: NodeState, now: float) -> None:
+        """Try to relay every eligible copy of ``giver`` to ``taker``."""
+        config = self.ctx.config
+        for copy in giver.live_copies(now):
+            if copy.num_relays >= self._fanout_cap(giver, copy):
+                continue
+            if taker.evicted:
+                break
+            self._relay_one(giver, taker, copy, now)
+
+    def _fanout_cap(self, giver: NodeState, copy: StoredCopy) -> float:
+        """Relay cap for this holder: give-2 for relays, wider for the
+        source ("the first two (at least) nodes it meets")."""
+        config = self.ctx.config
+        if copy.message.source == giver.node_id:
+            cap = config.source_fanout
+            return float("inf") if cap is None else cap
+        return config.relay_fanout
+
+    def _relay_one(
+        self, giver: NodeState, taker: NodeState, copy: StoredCopy, now: float
+    ) -> bool:
+        """Run the full relay phase for one copy; True on hand-off."""
+        ctx = self.ctx
+        results = ctx.results
+        message = copy.message
+        # Step 1-2: RELAY_RQST / RELAY_OK.  The honest answer to "have
+        # you handled H(m)?" — declining without knowing the
+        # destination is never rational (Sec. IV-C), so every strategy
+        # answers truthfully.
+        if taker.has_seen(message.msg_id):
+            return False
+        plan = self._negotiate(giver, taker, copy, now)
+        if plan is None:
+            return False
+        declaration = plan.declaration
+        results.relay_attempts += 1
+        energy = ctx.config.energy
+        # Step 3: RELAY, E_k(m) — the body crosses the air.
+        results.record_replica(message)
+        results.add_energy(
+            giver.node_id,
+            energy.transfer_cost(message.size_bytes + CONTROL_MESSAGE_SIZE),
+        )
+        results.add_energy(
+            taker.node_id,
+            energy.receive_cost(message.size_bytes + CONTROL_MESSAGE_SIZE),
+        )
+        # Step 4: the taker signs the Proof of Relay.
+        por = make_proof_of_relay(
+            self.identities[taker.node_id],
+            self._hash[message.msg_id],
+            giver.node_id,
+            now,
+            quality_subject=plan.quality_subject,
+            message_quality=plan.message_quality,
+            taker_quality=plan.taker_quality,
+        )
+        self._charge_signature(taker.node_id)
+        if not verify_proof_of_relay(
+            self.identities[giver.node_id],
+            self.identities[taker.node_id].certificate,
+            por,
+        ):  # pragma: no cover - honest takers always produce valid PoRs
+            return False
+        self._charge_verification(giver.node_id)
+        copy.proofs.append(por)
+        copy.relays.append(taker.node_id)
+        if (
+            message.source != giver.node_id
+            and copy.num_relays >= ctx.config.relay_fanout
+        ):
+            # Two proofs collected: the body may be discarded; the
+            # proofs stay until Δ2.  The source keeps its own message
+            # (it is never tested and wants it delivered).
+            giver.drop_body(message.msg_id, now, results)
+        record = self._sources[giver.node_id].get(message.msg_id)
+        if record is None and self.testers == "any_giver":
+            # Ablation mode: intermediate relays also keep audit
+            # records for the messages they hand out.
+            record = _SourceRecord(message=message, is_source=False)
+            self._sources[giver.node_id][message.msg_id] = record
+        if record is not None:
+            record.takers.append(taker.node_id)
+        self._after_relay(giver, record, taker, plan, declaration, now)
+        # Step 5: the key is revealed; the taker learns whether it is
+        # the destination.
+        ctx.events.log(
+            now, EventType.RELAYED, msg_id=message.msg_id,
+            actor=giver.node_id, subject=taker.node_id,
+        )
+        if taker.node_id == message.destination:
+            identity = self.identities[taker.node_id]
+            source_id, msg_id, _body = open_message(
+                identity, self._sealed[message.msg_id]
+            )
+            assert (source_id, msg_id) == (message.source, message.msg_id)
+            taker.seen.add(message.msg_id)
+            results.record_delivery(message, now)
+            ctx.events.log(
+                now, EventType.DELIVERED, msg_id=message.msg_id,
+                actor=giver.node_id, subject=taker.node_id,
+            )
+            self._on_delivered(taker, plan.attachments, message, now)
+            return True
+        # "Label both messages with the forwarding quality of node B":
+        # the giver's surviving copy adopts the taker's declared
+        # quality (a no-op for the epidemic variant).
+        copy.quality = plan.new_copy_quality
+        make_room(ctx, taker, now)
+        taker.store(
+            StoredCopy(
+                message=message,
+                received_at=now,
+                received_from=giver.node_id,
+                quality=plan.new_copy_quality,
+                attachments=list(plan.attachments),
+            ),
+            now,
+            results,
+        )
+        # The taker remembers who gave it what, and until when it can
+        # be tested — the knowledge both honest bookkeeping and a
+        # test-dodging strategy operate on.
+        taker.extra.setdefault("taken", {})[message.msg_id] = (
+            giver.node_id,
+            message.created_at + ctx.config.delta2,
+        )
+        keep = taker.strategy.keep_relayed_copy(
+            taker.node_id, message, giver.node_id, now
+        )
+        if not keep:
+            taker.drop(message.msg_id, now, results)
+            results.record_deviation(taker.node_id, message)
+            ctx.events.log(
+                now, EventType.DROPPED, msg_id=message.msg_id,
+                actor=taker.node_id, subject=giver.node_id,
+            )
+        return True
+
+    # -- the test phase ---------------------------------------------------
+
+    def _run_tests(
+        self, source: NodeState, peer: NodeState, now: float
+    ) -> None:
+        """Test ``peer`` for every message ``source`` handed it directly.
+
+        Only the source initiates tests (relays cannot know whether
+        their giver was the source, so they must always be ready, but
+        nobody else spends energy checking — the paper's key asymmetry).
+        """
+        if source.evicted or peer.evicted:
+            return
+        config = self.ctx.config
+        for record in self._sources[source.node_id].values():
+            message = record.message
+            if peer.node_id == message.destination:
+                continue  # the source knows D; a delivery is never tested
+            if peer.node_id not in record.takers:
+                continue
+            if peer.node_id in record.tested:
+                continue
+            if now <= message.expires_at:
+                continue  # the test window opens at Δ1
+            if now > message.created_at + config.delta2:
+                continue  # the window closed; the relay may have purged
+            record.tested.add(peer.node_id)
+            self._test_one(source, peer, record, now)
+            if peer.evicted:
+                return
+
+    def _test_one(
+        self,
+        source: NodeState,
+        peer: NodeState,
+        record: _SourceRecord,
+        now: float,
+    ) -> None:
+        """One challenge: two PoRs, a storage proof, or a PoM."""
+        ctx = self.ctx
+        results = ctx.results
+        message = record.message
+        results.test_phases += 1
+        copy = peer.buffer.get(message.msg_id)
+        proofs = list(copy.proofs) if copy is not None else []
+        source_identity = self.identities[source.node_id]
+        if len(proofs) >= ctx.config.relay_fanout:
+            valid = all(
+                verify_proof_of_relay(
+                    source_identity,
+                    self.identities[por.taker].certificate,
+                    por,
+                )
+                for por in proofs
+            )
+            for _ in proofs:
+                self._charge_verification(source.node_id)
+            if not valid:  # pragma: no cover - unforgeable in-model
+                self._issue_pom(
+                    peer.node_id, source.node_id, message, "dropper",
+                    proofs, now,
+                )
+                return
+            evidence = self._chain_violation(
+                record, peer.node_id, proofs, now
+            )
+            if evidence is not None:
+                self._issue_pom(
+                    peer.node_id, source.node_id, message, "cheater",
+                    evidence, now,
+                )
+            else:
+                ctx.events.log(
+                    now, EventType.TEST_PASSED, msg_id=message.msg_id,
+                    actor=source.node_id, subject=peer.node_id,
+                    detail="proofs_of_relay",
+                )
+            return
+        if copy is not None and not copy.body_dropped:
+            # Storage challenge: the relay proves it still holds the
+            # bytes by computing the heavy HMAC over them.
+            seed = random_seed(ctx.rng)
+            proof = make_storage_proof(
+                self.identities[peer.node_id],
+                self._hash[message.msg_id],
+                self._wire_bytes[message.msg_id],
+                seed,
+                self.heavy_hmac,
+            )
+            results.heavy_hmac_runs += 1
+            results.add_energy(peer.node_id, ctx.config.energy.heavy_hmac)
+            self._charge_signature(peer.node_id)
+            ok = verify_storage_proof(
+                source_identity,
+                self.identities[peer.node_id].certificate,
+                proof,
+                self._wire_bytes[message.msg_id],
+                self.heavy_hmac,
+            )
+            results.add_energy(source.node_id, ctx.config.energy.heavy_hmac)
+            if not ok:  # pragma: no cover - honest storage always verifies
+                self._issue_pom(
+                    peer.node_id, source.node_id, message, "dropper",
+                    None, now,
+                )
+            else:
+                ctx.events.log(
+                    now, EventType.TEST_PASSED, msg_id=message.msg_id,
+                    actor=source.node_id, subject=peer.node_id,
+                    detail="storage_challenge",
+                )
+            return
+        # Neither proofs nor the message: the taker dropped it.  The
+        # PoR it signed during the relay phase is the evidence.
+        self._issue_pom(
+            peer.node_id, source.node_id, message, "dropper", None, now
+        )
+
+    # -- misbehavior handling ----------------------------------------------
+
+    def _issue_pom(
+        self,
+        offender: NodeId,
+        detector: NodeId,
+        message: Message,
+        deviation: str,
+        evidence: Any,
+        now: float,
+    ) -> None:
+        """Create, record, and broadcast a Proof of Misbehavior."""
+        ctx = self.ctx
+        pom = ProofOfMisbehavior(
+            offender=offender,
+            detector=detector,
+            msg_id=message.msg_id,
+            deviation=deviation,
+            issued_at=now,
+            evidence=evidence,
+        )
+        ctx.blacklist.publish(pom)
+        ctx.events.log(
+            now, EventType.TEST_FAILED, msg_id=message.msg_id,
+            actor=detector, subject=offender, detail=deviation,
+        )
+        ctx.events.log(
+            now, EventType.POM, msg_id=message.msg_id,
+            actor=detector, subject=offender, detail=deviation,
+        )
+        ctx.results.record_detection(
+            DetectionRecord(
+                offender=offender,
+                detector=detector,
+                time=now,
+                msg_id=message.msg_id,
+                deviation=deviation,
+                delay_after_ttl=now - message.expires_at,
+            )
+        )
+        if ctx.config.instant_blacklist:
+            ctx.evict(offender, now)
+
+    # -- housekeeping -------------------------------------------------------
+
+    def _housekeeping(self, node: NodeState, now: float) -> None:
+        """Purge everything older than Δ2 (messages, proofs, records)."""
+        config = self.ctx.config
+        stale = [
+            msg_id
+            for msg_id, copy in node.buffer.items()
+            if now > copy.message.created_at + config.delta2
+        ]
+        for msg_id in stale:
+            node.drop(msg_id, now, self.ctx.results)
+        records = self._sources[node.node_id]
+        for msg_id in [
+            m
+            for m, record in records.items()
+            if now > record.message.created_at + config.delta2
+        ]:
+            del records[msg_id]
+
+    # -- energy helpers ------------------------------------------------------
+
+    def _charge_signature(self, node: NodeId) -> None:
+        self.ctx.results.add_energy(node, self.ctx.config.energy.signature)
+
+    def _charge_verification(self, node: NodeId) -> None:
+        self.ctx.results.add_energy(node, self.ctx.config.energy.verification)

@@ -1,0 +1,186 @@
+"""Constructing and verifying the signed G2G artifacts.
+
+These helpers bridge the wire-level dataclasses of
+:mod:`repro.core.wire` and the identity layer of
+:mod:`repro.crypto.keys`: they sign the canonical payloads and verify
+them against the issuer's certificate (which is itself validated
+against the trusted authority).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..crypto.keys import Certificate, NodeIdentity
+from ..traces.trace import NodeId
+from .wire import (
+    ProofOfRelay,
+    QualityDeclaration,
+    SealedMessage,
+    StorageProof,
+)
+
+
+def seal_message(
+    source: NodeIdentity,
+    destination_cert: Certificate,
+    msg_id: int,
+    body: bytes,
+) -> SealedMessage:
+    """Build ``m = <D, E_PKD(S, msg_id, body)>_S``.
+
+    The plaintext packs the source id and message id alongside the
+    body so the destination can authenticate the origin after
+    decryption while relays see neither.
+    """
+    plaintext = (
+        repr(source.node_id).encode() + b"|" + repr(msg_id).encode()
+        + b"|" + body
+    )
+    ciphertext = source.encrypt_for(destination_cert, plaintext)
+    unsigned = SealedMessage(
+        msg_id=msg_id,
+        destination=destination_cert.node_id,
+        ciphertext=ciphertext,
+        source_signature=b"",
+    )
+    signature = source.sign(unsigned.wire_bytes())
+    return SealedMessage(
+        msg_id=msg_id,
+        destination=destination_cert.node_id,
+        ciphertext=ciphertext,
+        source_signature=signature,
+    )
+
+
+def open_message(recipient: NodeIdentity, sealed: SealedMessage) -> tuple:
+    """Decrypt a sealed message at its destination.
+
+    Returns:
+        ``(source_id, msg_id, body)``.
+
+    Raises:
+        Exception: propagated from the crypto layer if the blob was
+            not addressed to ``recipient`` or was tampered with.
+    """
+    plaintext = recipient.decrypt(sealed.ciphertext)
+    source_repr, msg_id_repr, body = plaintext.split(b"|", 2)
+    return int(source_repr), int(msg_id_repr), body
+
+
+def make_proof_of_relay(
+    taker: NodeIdentity,
+    msg_hash: bytes,
+    giver: NodeId,
+    now: float,
+    quality_subject: Optional[NodeId] = None,
+    message_quality: Optional[float] = None,
+    taker_quality: Optional[float] = None,
+) -> ProofOfRelay:
+    """Sign a PoR as the taker of a message."""
+    unsigned = ProofOfRelay(
+        msg_hash=msg_hash,
+        giver=giver,
+        taker=taker.node_id,
+        quality_subject=quality_subject,
+        message_quality=message_quality,
+        taker_quality=taker_quality,
+        signed_at=now,
+    )
+    return ProofOfRelay(
+        msg_hash=unsigned.msg_hash,
+        giver=unsigned.giver,
+        taker=unsigned.taker,
+        quality_subject=unsigned.quality_subject,
+        message_quality=unsigned.message_quality,
+        taker_quality=unsigned.taker_quality,
+        signed_at=unsigned.signed_at,
+        signature=taker.sign(unsigned.payload()),
+    )
+
+
+def verify_proof_of_relay(
+    verifier: NodeIdentity, taker_cert: Certificate, por: ProofOfRelay
+) -> bool:
+    """Check a PoR signature against the taker's certificate."""
+    if taker_cert.node_id != por.taker:
+        return False
+    return verifier.verify_peer(taker_cert, por.payload(), por.signature)
+
+
+def make_quality_declaration(
+    declarant: NodeIdentity,
+    destination: NodeId,
+    value: float,
+    frame: int,
+    now: float,
+) -> QualityDeclaration:
+    """Sign an FQ_RESP declaration."""
+    unsigned = QualityDeclaration(
+        declarant=declarant.node_id,
+        destination=destination,
+        value=value,
+        frame=frame,
+        declared_at=now,
+    )
+    return QualityDeclaration(
+        declarant=unsigned.declarant,
+        destination=unsigned.destination,
+        value=unsigned.value,
+        frame=unsigned.frame,
+        declared_at=unsigned.declared_at,
+        signature=declarant.sign(unsigned.payload()),
+    )
+
+
+def verify_quality_declaration(
+    verifier: NodeIdentity,
+    declarant_cert: Certificate,
+    declaration: QualityDeclaration,
+) -> bool:
+    """Check an FQ_RESP signature against the declarant's certificate."""
+    if declarant_cert.node_id != declaration.declarant:
+        return False
+    return verifier.verify_peer(
+        declarant_cert, declaration.payload(), declaration.signature
+    )
+
+
+def make_storage_proof(
+    prover: NodeIdentity,
+    msg_hash: bytes,
+    message_bytes: bytes,
+    seed: bytes,
+    heavy_hmac,
+) -> StorageProof:
+    """Answer a storage challenge (the heavy HMAC computation)."""
+    mac = heavy_hmac.compute(message_bytes, seed)
+    unsigned = StorageProof(
+        msg_hash=msg_hash, prover=prover.node_id, seed=seed, mac=mac
+    )
+    return StorageProof(
+        msg_hash=unsigned.msg_hash,
+        prover=unsigned.prover,
+        seed=unsigned.seed,
+        mac=unsigned.mac,
+        signature=prover.sign(unsigned.payload()),
+    )
+
+
+def verify_storage_proof(
+    verifier: NodeIdentity,
+    prover_cert: Certificate,
+    proof: StorageProof,
+    message_bytes: bytes,
+    heavy_hmac,
+) -> bool:
+    """Recompute the heavy HMAC and check the prover's signature."""
+    if not verifier.verify_peer(prover_cert, proof.payload(), proof.signature):
+        return False
+    return heavy_hmac.verify(message_bytes, proof.seed, proof.mac)
+
+
+def random_seed(rng: random.Random, size: int = 16) -> bytes:
+    """Sample a fresh challenge seed."""
+    return bytes(rng.getrandbits(8) for _ in range(size))

@@ -1,0 +1,171 @@
+"""Wire-level artifacts of the Give2Get protocols.
+
+Canonical byte encodings of every signed control message in Fig. 1,
+Fig. 2, and Fig. 6 of the paper, plus the sealed application message.
+Each artifact exposes a ``payload()`` encoding that is what actually
+gets signed/verified — distinct kind tags prevent any artifact signed
+in one role from being replayed in another.
+
+The simulator-facing constructors live in :mod:`repro.core.proofs`;
+this module is pure data + encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..crypto.hashing import digest
+from ..traces.trace import NodeId
+
+
+def _enc(*parts: object) -> bytes:
+    """Deterministic byte encoding of heterogeneous fields."""
+    return b"|".join(
+        p if isinstance(p, bytes) else repr(p).encode() for p in parts
+    )
+
+
+@dataclass(frozen=True)
+class SealedMessage:
+    """The on-air form of a message: ``m = <D, E_PKD(S, msg_id, body)>_S``.
+
+    The destination is in clear; the sender hides inside the encrypted
+    body (relays must not learn whether the node handing them the
+    message is its source, or the test-phase threat would evaporate).
+
+    Attributes:
+        msg_id: simulator message id (stands in for a GUID).
+        destination: the clear-text destination field.
+        ciphertext: the body encrypted to the destination's public key.
+        source_signature: the source's signature over the whole form.
+    """
+
+    msg_id: int
+    destination: NodeId
+    ciphertext: bytes
+    source_signature: bytes
+
+    def wire_bytes(self) -> bytes:
+        """Full serialized form (what relays store and hash)."""
+        return _enc(
+            b"MSG", self.msg_id, self.destination,
+            self.ciphertext, self.source_signature,
+        )
+
+    def content_hash(self) -> bytes:
+        """``H(m)`` — the handle used in every control message."""
+        return digest(self.wire_bytes())
+
+
+@dataclass(frozen=True)
+class RelayRequest:
+    """Step 1 / step 8: ``<RELAY_RQST, H(m)>_A`` (+ D' for delegation)."""
+
+    msg_hash: bytes
+    sender: NodeId
+    quality_subject: Optional[NodeId] = None  # D' in Fig. 6
+    signature: bytes = b""
+
+    def payload(self) -> bytes:
+        """Bytes covered by the signature."""
+        return _enc(b"RELAY_RQST", self.msg_hash, self.sender,
+                    self.quality_subject)
+
+
+@dataclass(frozen=True)
+class RelayAccept:
+    """Step 2: ``<RELAY_OK, H(m)>_B``."""
+
+    msg_hash: bytes
+    relay: NodeId
+    signature: bytes = b""
+
+    def payload(self) -> bytes:
+        """Bytes covered by the signature."""
+        return _enc(b"RELAY_OK", self.msg_hash, self.relay)
+
+
+@dataclass(frozen=True)
+class QualityDeclaration:
+    """Step 9: ``<FQ_RESP, B, D', f_BD>_B`` with its timeframe index.
+
+    Signed by the declarant; a false declaration is therefore
+    self-incriminating — it *is* the proof of misbehavior the
+    destination broadcasts when it catches a liar (Sec. VI-A).
+    """
+
+    declarant: NodeId
+    destination: NodeId
+    value: float
+    frame: int
+    declared_at: float
+    signature: bytes = b""
+
+    def payload(self) -> bytes:
+        """Bytes covered by the signature."""
+        return _enc(
+            b"FQ_RESP", self.declarant, self.destination,
+            self.value, self.frame, self.declared_at,
+        )
+
+
+@dataclass(frozen=True)
+class ProofOfRelay:
+    """Step 4 / step 11: the receipt a relay signs on taking a message.
+
+    Epidemic form: ``<POR, H(m), A, B>_B``.  Delegation form adds the
+    quality subject D', the message's quality label at hand-off
+    (``f_m``), and the taker's declared quality (``f_BD``).
+    """
+
+    msg_hash: bytes
+    giver: NodeId
+    taker: NodeId
+    quality_subject: Optional[NodeId] = None
+    message_quality: Optional[float] = None
+    taker_quality: Optional[float] = None
+    signed_at: float = 0.0
+    signature: bytes = b""
+
+    def payload(self) -> bytes:
+        """Bytes covered by the signature."""
+        return _enc(
+            b"POR", self.msg_hash, self.giver, self.taker,
+            self.quality_subject, self.message_quality,
+            self.taker_quality, self.signed_at,
+        )
+
+
+@dataclass(frozen=True)
+class StorageChallenge:
+    """Step 6: ``<POR_RQST, H(m), s>_A`` — the test-phase opener."""
+
+    msg_hash: bytes
+    challenger: NodeId
+    seed: bytes
+    signature: bytes = b""
+
+    def payload(self) -> bytes:
+        """Bytes covered by the signature."""
+        return _enc(b"POR_RQST", self.msg_hash, self.challenger, self.seed)
+
+
+@dataclass(frozen=True)
+class StorageProof:
+    """Step 7 (second branch): ``<STORED, H(m), s, HMAC(m, s)>_B``."""
+
+    msg_hash: bytes
+    prover: NodeId
+    seed: bytes
+    mac: bytes
+    signature: bytes = b""
+
+    def payload(self) -> bytes:
+        """Bytes covered by the signature."""
+        return _enc(b"STORED", self.msg_hash, self.prover, self.seed, self.mac)
+
+
+#: Nominal wire sizes (bytes) for energy accounting of control traffic.
+CONTROL_MESSAGE_SIZE = 96
+PROOF_SIZE = 64

@@ -1,0 +1,86 @@
+"""Finite-field Diffie-Hellman key agreement for session keys.
+
+When two nodes meet, the relay phase "starts a session ... by
+negotiating a cryptographic session key" (Sec. IV-A of the paper).  We
+realize that negotiation with classic Diffie-Hellman over a safe-prime
+group; the shared secret is hashed into an AES-strength symmetric key
+consumed by :mod:`repro.crypto.symmetric`.
+
+A well-known 512-bit safe-prime group is precomputed so simulations do
+not pay safe-prime generation per run; fresh groups can be generated
+with :func:`generate_group` when desired.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .hashing import digest
+from .numbers import int_to_bytes, random_safe_prime
+
+# A fixed 512-bit safe prime (p = 2q + 1 with q prime), generated once
+# with ``generate_group(512, random.Random(2010))`` and inlined so that
+# importing this module is instant.  Generator 2 has order q or 2q in a
+# safe-prime group; squaring the public values confines us to the
+# prime-order subgroup.
+_DEFAULT_P = int(
+    "10485531366297010274642593257342334576129909037398145772837058"
+    "56066063578275249877902563781673582790410359746781091782824486"
+    "4740103065242242127935612637363"
+)
+_DEFAULT_G = 2
+
+
+class DhError(Exception):
+    """Raised on out-of-range public values."""
+
+
+@dataclass(frozen=True)
+class DhGroup:
+    """A Diffie-Hellman group ``(p, g)`` with ``p`` a safe prime."""
+
+    p: int
+    g: int
+
+    def __post_init__(self) -> None:
+        if self.p < 5 or not 1 < self.g < self.p - 1:
+            raise DhError(f"invalid group (p={self.p}, g={self.g})")
+
+    def private_exponent(self, rng: random.Random) -> int:
+        """Sample a private exponent in ``[2, p - 2]``."""
+        return rng.randrange(2, self.p - 1)
+
+    def public_value(self, private: int) -> int:
+        """Compute ``g^private mod p``."""
+        return pow(self.g, private, self.p)
+
+    def shared_secret(self, private: int, peer_public: int) -> bytes:
+        """Derive the shared session key from a peer's public value.
+
+        The raw DH secret is squared into the prime-order subgroup and
+        hashed, giving a uniform 32-byte key.
+
+        Raises:
+            DhError: if ``peer_public`` is outside ``(1, p - 1)`` —
+                rejecting the degenerate values 0, 1 and p - 1 blocks
+                trivial small-subgroup confinement.
+        """
+        if not 1 < peer_public < self.p - 1:
+            raise DhError(f"peer public value out of range: {peer_public}")
+        secret = pow(peer_public, 2 * private, self.p)
+        return digest(b"g2g-session|" + int_to_bytes(secret))
+
+
+def default_group() -> DhGroup:
+    """The library's precomputed 512-bit safe-prime group."""
+    return DhGroup(p=_DEFAULT_P, g=_DEFAULT_G)
+
+
+def generate_group(bits: int, rng: random.Random) -> DhGroup:
+    """Generate a fresh safe-prime group of the given size.
+
+    This is expensive (minutes for >= 1024 bits in pure Python); prefer
+    :func:`default_group` unless group freshness matters.
+    """
+    return DhGroup(p=random_safe_prime(bits, rng), g=2)

@@ -1,0 +1,97 @@
+"""Hashing primitives used throughout the Give2Get protocols.
+
+The paper (Sec. III) writes ``H()`` for a cryptographic hash function and
+uses a keyed *heavy* HMAC during the test phase: the storage challenge
+must be expensive to compute so that storing-and-answering is never
+cheaper than relaying (Sec. IV-B).  We provide:
+
+* :func:`digest` / :func:`hexdigest` — the plain ``H()`` of the paper.
+* :func:`hmac_digest` — standard HMAC-SHA256.
+* :class:`HeavyHmac` — an iterated (PBKDF2-style) HMAC whose iteration
+  count is the knob mapping to an energy price; the number of
+  iterations actually executed is recorded so simulations can charge
+  the corresponding energy cost to the node that answered a challenge.
+
+Everything here is deterministic and stateless except for the
+iteration counter on :class:`HeavyHmac`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+from dataclasses import dataclass, field
+
+#: Size in bytes of all digests produced by this module.
+DIGEST_SIZE = hashlib.sha256().digest_size
+
+#: Default iteration count for the heavy HMAC.  The paper only requires
+#: that answering the storage challenge costs more energy than relaying
+#: the message would have; simulations map iterations to joules via
+#: :class:`repro.sim.config.EnergyModel`.
+DEFAULT_HEAVY_ITERATIONS = 10_000
+
+
+def digest(data: bytes) -> bytes:
+    """Return ``H(data)`` — the SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).digest()
+
+
+def hexdigest(data: bytes) -> str:
+    """Return ``H(data)`` as a hex string (convenient for message ids)."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def hmac_digest(key: bytes, data: bytes) -> bytes:
+    """Standard HMAC-SHA256 of ``data`` under ``key``."""
+    return _hmac.new(key, data, hashlib.sha256).digest()
+
+
+def constant_time_equal(a: bytes, b: bytes) -> bool:
+    """Timing-safe comparison of two byte strings."""
+    return _hmac.compare_digest(a, b)
+
+
+@dataclass
+class HeavyHmac:
+    """Deliberately expensive keyed MAC for the storage challenge.
+
+    The test phase of G2G Epidemic Forwarding (Fig. 2 of the paper)
+    challenges a relay that cannot show two Proofs of Relay to compute
+    ``HMAC(m, s)`` for a fresh random seed ``s``.  The HMAC "should be
+    designed in such a way to be heavy to compute" so a selfish node
+    prefers relaying over hoarding.  We realize this with an iterated
+    HMAC chain: ``h_0 = HMAC(s, m)``, ``h_i = HMAC(s, h_{i-1})``.
+
+    Attributes:
+        iterations: chain length; the energy knob.
+        work_performed: total iterations executed by this instance,
+            across all calls — used by the simulator's energy model.
+    """
+
+    iterations: int = DEFAULT_HEAVY_ITERATIONS
+    work_performed: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ValueError(
+                f"iterations must be >= 1, got {self.iterations}"
+            )
+
+    def compute(self, message: bytes, seed: bytes) -> bytes:
+        """Compute the heavy MAC of ``message`` under seed ``seed``.
+
+        The whole message participates in the first link of the chain,
+        so the prover must hold the message bytes; subsequent links
+        only mix the running digest, keeping cost independent of the
+        message size (the expense is in the chain length).
+        """
+        value = _hmac.new(seed, message, hashlib.sha256).digest()
+        for _ in range(self.iterations - 1):
+            value = _hmac.new(seed, value, hashlib.sha256).digest()
+        self.work_performed += self.iterations
+        return value
+
+    def verify(self, message: bytes, seed: bytes, mac: bytes) -> bool:
+        """Recompute and compare in constant time."""
+        return constant_time_equal(self.compute(message, seed), mac)

@@ -1,0 +1,200 @@
+"""Pluggable crypto providers: real RSA/DH or fast simulated crypto.
+
+Large parameter sweeps (e.g. the Fig. 3 dropper sweep runs dozens of
+3-hour simulations) cannot afford a 512-bit RSA signature per relayed
+message, so the library separates *what* the protocols do from *how*
+the primitives are computed:
+
+* :class:`RealCryptoProvider` — from-scratch RSA signatures, hybrid
+  RSA + stream-cipher encryption, DH session keys.  Used in the crypto
+  test suite and available for small end-to-end runs.
+* :class:`SimulatedCryptoProvider` — an HMAC-based provider backed by a
+  private key registry.  Signatures remain *unforgeable by protocol
+  code* (only the provider can reach the registry; a node object holds
+  an opaque handle, not the secret), verification failures are still
+  detected, and encryption still round-trips — so every protocol code
+  path behaves identically, at a tiny fraction of the cost.  This is
+  the substitution documented in DESIGN.md §3.
+
+Both satisfy the :class:`CryptoProvider` interface consumed by
+:mod:`repro.crypto.keys` and :mod:`repro.crypto.session`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from . import rsa, symmetric
+from .dh import DhGroup, default_group
+from .hashing import constant_time_equal, digest, hmac_digest
+
+
+class CryptoProvider(ABC):
+    """Abstract factory for the asymmetric primitives the protocols use."""
+
+    @abstractmethod
+    def generate_keypair(self) -> Tuple[Any, Any]:
+        """Return an opaque ``(private, public)`` handle pair."""
+
+    @abstractmethod
+    def fingerprint(self, public_key: Any) -> bytes:
+        """Stable digest identifying a public key."""
+
+    @abstractmethod
+    def sign(self, private_key: Any, payload: bytes) -> bytes:
+        """Sign ``payload``."""
+
+    @abstractmethod
+    def verify(self, public_key: Any, payload: bytes, signature: bytes) -> bool:
+        """Check a signature; must return False on any forgery."""
+
+    @abstractmethod
+    def encrypt(self, public_key: Any, plaintext: bytes) -> bytes:
+        """Public-key (hybrid) encryption of arbitrary-length data."""
+
+    @abstractmethod
+    def decrypt(self, private_key: Any, ciphertext: bytes) -> bytes:
+        """Invert :meth:`encrypt`; raises on tampering."""
+
+    @abstractmethod
+    def new_session_key(self, rng: random.Random) -> bytes:
+        """Derive a fresh pairwise session key (the DH handshake)."""
+
+
+class RealCryptoProvider(CryptoProvider):
+    """Provider backed by the from-scratch RSA and DH implementations."""
+
+    def __init__(
+        self,
+        key_bits: int = rsa.DEFAULT_KEY_BITS,
+        rng: random.Random | None = None,
+        group: DhGroup | None = None,
+    ) -> None:
+        self._key_bits = key_bits
+        self._rng = rng if rng is not None else random.Random()
+        self._group = group if group is not None else default_group()
+
+    def generate_keypair(self) -> Tuple[rsa.RsaPrivateKey, rsa.RsaPublicKey]:
+        private = rsa.generate_keypair(self._key_bits, self._rng)
+        return private, private.public_key
+
+    def fingerprint(self, public_key: rsa.RsaPublicKey) -> bytes:
+        return public_key.fingerprint()
+
+    def sign(self, private_key: rsa.RsaPrivateKey, payload: bytes) -> bytes:
+        return private_key.sign(payload)
+
+    def verify(
+        self, public_key: rsa.RsaPublicKey, payload: bytes, signature: bytes
+    ) -> bool:
+        return public_key.verify(payload, signature)
+
+    def encrypt(self, public_key: rsa.RsaPublicKey, plaintext: bytes) -> bytes:
+        """Hybrid encryption: RSA-wrap a random key, stream-encrypt data.
+
+        A 16-byte content key is wrapped so that even the smallest
+        supported moduli (384 bits) can carry it.
+        """
+        key = bytes(self._rng.getrandbits(8) for _ in range(16))
+        wrapped = public_key.encrypt(key, self._rng)
+        body = symmetric.encrypt(key, plaintext, self._rng)
+        header = len(wrapped).to_bytes(2, "big")
+        return header + wrapped + body
+
+    def decrypt(self, private_key: rsa.RsaPrivateKey, ciphertext: bytes) -> bytes:
+        if len(ciphertext) < 2:
+            raise rsa.RsaError("truncated hybrid ciphertext")
+        wrapped_len = int.from_bytes(ciphertext[:2], "big")
+        wrapped = ciphertext[2 : 2 + wrapped_len]
+        body = ciphertext[2 + wrapped_len :]
+        key = private_key.decrypt(wrapped)
+        return symmetric.decrypt(key, body)
+
+    def new_session_key(self, rng: random.Random) -> bytes:
+        """Run an (unauthenticated-channel) DH exchange for both sides.
+
+        The simulator models both endpoints of the handshake at once —
+        contacts are bilateral — so the provider simply executes the
+        two half-exchanges and returns the agreed key.
+        """
+        a = self._group.private_exponent(rng)
+        b = self._group.private_exponent(rng)
+        key_a = self._group.shared_secret(a, self._group.public_value(b))
+        key_b = self._group.shared_secret(b, self._group.public_value(a))
+        assert key_a == key_b
+        return key_a
+
+
+@dataclass(frozen=True)
+class _SimPublicKey:
+    """Opaque public handle of the simulated provider."""
+
+    key_id: int
+
+
+@dataclass(frozen=True)
+class _SimPrivateKey:
+    """Opaque private handle; the secret stays inside the provider."""
+
+    key_id: int
+
+
+class SimulatedCryptoProvider(CryptoProvider):
+    """Fast provider preserving verification semantics.
+
+    Each keypair is a random 32-byte secret held in a registry private
+    to the provider.  ``sign`` = HMAC(secret, payload); ``verify``
+    recomputes via the registry.  Protocol code only ever holds the
+    opaque handles, so within the simulation's threat model (selfish,
+    non-byzantine nodes that cannot break crypto) forging another
+    node's signature is impossible, exactly as with real RSA.
+
+    Encryption is the same stream cipher as the real provider keyed by
+    a per-key derived secret, so confidentiality-dependent logic (e.g.
+    relays not learning a message's destination) behaves identically.
+    """
+
+    def __init__(self, rng: random.Random | None = None) -> None:
+        self._rng = rng if rng is not None else random.Random()
+        self._secrets: Dict[int, bytes] = {}
+        self._ids = itertools.count(1)
+
+    def generate_keypair(self) -> Tuple[_SimPrivateKey, _SimPublicKey]:
+        key_id = next(self._ids)
+        self._secrets[key_id] = bytes(
+            self._rng.getrandbits(8) for _ in range(32)
+        )
+        return _SimPrivateKey(key_id), _SimPublicKey(key_id)
+
+    def fingerprint(self, public_key: _SimPublicKey) -> bytes:
+        return digest(b"sim-key|" + str(public_key.key_id).encode())
+
+    def sign(self, private_key: _SimPrivateKey, payload: bytes) -> bytes:
+        secret = self._secrets[private_key.key_id]
+        return hmac_digest(digest(b"sign|" + secret), payload)
+
+    def verify(
+        self, public_key: _SimPublicKey, payload: bytes, signature: bytes
+    ) -> bool:
+        secret = self._secrets.get(public_key.key_id)
+        if secret is None:
+            return False
+        expected = hmac_digest(digest(b"sign|" + secret), payload)
+        return constant_time_equal(expected, signature)
+
+    def encrypt(self, public_key: _SimPublicKey, plaintext: bytes) -> bytes:
+        secret = self._secrets[public_key.key_id]
+        return symmetric.encrypt(
+            digest(b"enc|" + secret), plaintext, self._rng
+        )
+
+    def decrypt(self, private_key: _SimPrivateKey, ciphertext: bytes) -> bytes:
+        secret = self._secrets[private_key.key_id]
+        return symmetric.decrypt(digest(b"enc|" + secret), ciphertext)
+
+    def new_session_key(self, rng: random.Random) -> bytes:
+        return symmetric.random_key(rng)

@@ -1,0 +1,218 @@
+"""From-scratch RSA key generation, signatures, and encryption.
+
+The paper assumes "every node has a public key and the corresponding
+private key" signed by an offline trusted authority (Sec. III).  This
+module provides the asymmetric primitive: textbook RSA hardened with a
+full-domain-hash style padding for signatures and OAEP-like masking for
+encryption (both built on SHA-256, see :mod:`repro.crypto.hashing`).
+
+Keys default to 512-bit moduli — generation is fast enough to mint a
+keypair per simulated node while remaining far beyond what honest-but-
+selfish simulation code could forge.  The key size is a parameter, so
+tests exercise both smaller (faster) and larger keys.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .hashing import digest
+from .numbers import (
+    bytes_to_int,
+    int_to_bytes,
+    modinv,
+    random_prime,
+)
+
+#: Default modulus size in bits.
+DEFAULT_KEY_BITS = 512
+
+#: The usual public exponent.
+PUBLIC_EXPONENT = 65537
+
+#: Seed width for randomized encryption padding; 16 bytes keeps the
+#: padding overhead small enough for 384-bit test keys while providing
+#: 128 bits of randomization.
+SEED_SIZE = 16
+
+
+class RsaError(Exception):
+    """Raised on malformed ciphertexts or invalid key material."""
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    """An RSA public key ``(n, e)``.
+
+    Hashable and immutable so it can be used as a node identity token
+    and embedded in certificates.
+    """
+
+    n: int
+    e: int
+
+    @property
+    def modulus_bytes(self) -> int:
+        """Size of the modulus in bytes."""
+        return (self.n.bit_length() + 7) // 8
+
+    def fingerprint(self) -> bytes:
+        """Stable short identifier of the key (hash of its encoding)."""
+        return digest(int_to_bytes(self.n) + b"|" + int_to_bytes(self.e))
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        """Verify a signature produced by :meth:`RsaPrivateKey.sign`."""
+        try:
+            sig_int = bytes_to_int(signature)
+        except (TypeError, ValueError):
+            return False
+        if not 0 <= sig_int < self.n:
+            return False
+        recovered = pow(sig_int, self.e, self.n)
+        expected = bytes_to_int(_fdh_pad(message, self.n))
+        return recovered == expected
+
+    def encrypt(self, plaintext: bytes, rng: random.Random) -> bytes:
+        """Encrypt a short plaintext (must fit in the modulus).
+
+        A random mask is prepended and the payload is whitened with a
+        hash of the mask so that equal plaintexts encrypt differently.
+        Use :class:`repro.crypto.provider.RealCryptoProvider` for
+        arbitrary-length hybrid encryption.
+        """
+        padded = _mask_pad(plaintext, self.n, rng)
+        c = pow(bytes_to_int(padded), self.e, self.n)
+        return int_to_bytes(c).rjust(self.modulus_bytes, b"\x00")
+
+
+@dataclass(frozen=True)
+class RsaPrivateKey:
+    """An RSA private key; carries its public half for convenience."""
+
+    n: int
+    e: int
+    d: int
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        """The corresponding public key."""
+        return RsaPublicKey(n=self.n, e=self.e)
+
+    def sign(self, message: bytes) -> bytes:
+        """Sign ``message`` with full-domain-hash RSA.
+
+        The signature is the RSA inverse of a hash expanded to the full
+        modulus width, making forgery require inverting RSA on a random
+        target.
+        """
+        m = bytes_to_int(_fdh_pad(message, self.n))
+        s = pow(m, self.d, self.n)
+        return int_to_bytes(s).rjust((self.n.bit_length() + 7) // 8, b"\x00")
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        """Invert :meth:`RsaPublicKey.encrypt`.
+
+        Raises:
+            RsaError: if the ciphertext is out of range or the padding
+                does not check out.
+        """
+        c = bytes_to_int(ciphertext)
+        if not 0 <= c < self.n:
+            raise RsaError("ciphertext out of range")
+        padded = int_to_bytes(pow(c, self.d, self.n))
+        width = (self.n.bit_length() + 7) // 8
+        return _mask_unpad(padded.rjust(width, b"\x00"))
+
+
+def generate_keypair(
+    bits: int = DEFAULT_KEY_BITS, rng: random.Random | None = None
+) -> RsaPrivateKey:
+    """Generate a fresh RSA keypair.
+
+    Args:
+        bits: modulus size in bits (>= 64; production-grade use would
+            pick >= 2048, simulations default to 512 for speed).
+        rng: deterministic randomness source; a fresh ``random.Random``
+            is created when omitted.
+
+    Returns:
+        The private key (which exposes ``.public_key``).
+    """
+    if bits < 64:
+        raise ValueError(f"modulus must be >= 64 bits, got {bits}")
+    if rng is None:
+        rng = random.Random()
+    half = bits // 2
+    while True:
+        p = random_prime(half, rng)
+        q = random_prime(bits - half, rng)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        if phi % PUBLIC_EXPONENT == 0:
+            continue
+        d = modinv(PUBLIC_EXPONENT, phi)
+        return RsaPrivateKey(n=n, e=PUBLIC_EXPONENT, d=d)
+
+
+def _expand(seed: bytes, length: int) -> bytes:
+    """MGF1-style mask generation: expand ``seed`` to ``length`` bytes."""
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        out += digest(seed + counter.to_bytes(4, "big"))
+        counter += 1
+    return bytes(out[:length])
+
+
+def _fdh_pad(message: bytes, n: int) -> bytes:
+    """Full-domain hash: expand H(message) to just under the modulus.
+
+    The top byte is zeroed so the padded integer is always < n.
+    """
+    width = (n.bit_length() + 7) // 8
+    expanded = _expand(digest(message), width)
+    return b"\x00" + expanded[1:]
+
+
+def _mask_pad(plaintext: bytes, n: int, rng: random.Random) -> bytes:
+    """Randomized padding for encryption.
+
+    Layout: ``0x00 || seed(SEED_SIZE) || masked-plaintext`` where the
+    mask is derived from the seed.  The plaintext must leave room for
+    the seed, the leading zero byte, and a 2-byte length prefix.
+    """
+    width = (n.bit_length() + 7) // 8
+    capacity = width - 1 - SEED_SIZE - 2
+    if capacity < 1:
+        raise RsaError("modulus too small for masked encryption")
+    if len(plaintext) > capacity:
+        raise RsaError(
+            f"plaintext too long: {len(plaintext)} > capacity {capacity}"
+        )
+    seed = bytes(rng.getrandbits(8) for _ in range(SEED_SIZE))
+    body = len(plaintext).to_bytes(2, "big") + plaintext
+    body = body.ljust(capacity + 2, b"\x00")
+    mask = _expand(seed, len(body))
+    masked = bytes(a ^ b for a, b in zip(body, mask))
+    return b"\x00" + seed + masked
+
+
+def _mask_unpad(padded: bytes) -> bytes:
+    """Invert :func:`_mask_pad`.
+
+    Raises:
+        RsaError: on any structural violation.
+    """
+    if len(padded) < 1 + SEED_SIZE + 2 or padded[0] != 0:
+        raise RsaError("malformed padding")
+    seed = padded[1 : 1 + SEED_SIZE]
+    masked = padded[1 + SEED_SIZE :]
+    mask = _expand(seed, len(masked))
+    body = bytes(a ^ b for a, b in zip(masked, mask))
+    length = int.from_bytes(body[:2], "big")
+    if length > len(body) - 2:
+        raise RsaError("corrupt length prefix")
+    return body[2 : 2 + length]

@@ -1,0 +1,193 @@
+"""Schnorr signatures and ElGamal-style hybrid encryption.
+
+The paper motivates elliptic-curve signatures for their size ("a
+secure signature based on elliptic curves is just 160 bits long",
+Sec. III).  Pure-Python EC arithmetic is out of scope, but Schnorr
+signatures over the prime-order subgroup of a safe-prime group are the
+same construction EC-Schnorr instantiates — short signatures (two
+subgroup scalars), cheap verification — so this module provides the
+closest faithful stand-in:
+
+* **keys**: ``x`` random in ``[1, q-1]``, ``y = g^x mod p`` where
+  ``p = 2q + 1`` (the group of :mod:`repro.crypto.dh`) and ``g``
+  generates the order-``q`` quadratic-residue subgroup;
+* **signatures**: classic Schnorr with a deterministic,
+  RFC-6979-style nonce (HMAC of key and message), so signing never
+  depends on ambient randomness;
+* **encryption**: ElGamal KEM — an ephemeral DH share wraps a
+  symmetric key for the stream cipher of
+  :mod:`repro.crypto.symmetric`.
+
+:class:`SchnorrCryptoProvider` packages it all behind the standard
+:class:`repro.crypto.provider.CryptoProvider` interface, so the G2G
+protocols run unchanged over Schnorr instead of RSA.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Tuple
+
+from . import symmetric
+from .dh import DhGroup, default_group
+from .hashing import digest, hmac_digest
+from .numbers import bytes_to_int, int_to_bytes
+from .provider import CryptoProvider
+
+
+class SchnorrError(Exception):
+    """Raised on malformed keys or ciphertexts."""
+
+
+@dataclass(frozen=True)
+class SchnorrPublicKey:
+    """``y = g^x`` in the prime-order subgroup."""
+
+    y: int
+
+    def fingerprint(self) -> bytes:
+        """Stable digest of the public key."""
+        return digest(b"schnorr|" + int_to_bytes(self.y))
+
+
+@dataclass(frozen=True)
+class SchnorrPrivateKey:
+    """The secret exponent, with its public half."""
+
+    x: int
+    public_key: SchnorrPublicKey
+
+
+class SchnorrScheme:
+    """Signature + KEM operations over one group."""
+
+    def __init__(self, group: DhGroup | None = None) -> None:
+        self.group = group if group is not None else default_group()
+        self.p = self.group.p
+        self.q = (self.p - 1) // 2
+        # The square of the group generator lands in (and generates)
+        # the order-q quadratic-residue subgroup.
+        self.g = pow(self.group.g, 2, self.p)
+
+    # -- keys -----------------------------------------------------------
+
+    def generate_keypair(
+        self, rng: random.Random
+    ) -> Tuple[SchnorrPrivateKey, SchnorrPublicKey]:
+        """Sample a fresh keypair."""
+        x = rng.randrange(1, self.q)
+        public = SchnorrPublicKey(y=pow(self.g, x, self.p))
+        return SchnorrPrivateKey(x=x, public_key=public), public
+
+    # -- signatures -------------------------------------------------------
+
+    def _challenge(self, r: int, message: bytes) -> int:
+        return bytes_to_int(
+            digest(b"schnorr-e|" + int_to_bytes(r) + b"|" + message)
+        ) % self.q
+
+    def _nonce(self, private: SchnorrPrivateKey, message: bytes) -> int:
+        """Deterministic RFC-6979-style nonce."""
+        seed = hmac_digest(
+            digest(b"schnorr-k|" + int_to_bytes(private.x)), message
+        )
+        k = bytes_to_int(seed) % self.q
+        return k if k != 0 else 1
+
+    def sign(self, private: SchnorrPrivateKey, message: bytes) -> bytes:
+        """Produce the (e, s) Schnorr signature."""
+        k = self._nonce(private, message)
+        r = pow(self.g, k, self.p)
+        e = self._challenge(r, message)
+        s = (k + private.x * e) % self.q
+        width = (self.q.bit_length() + 7) // 8
+        return e.to_bytes(width, "big") + s.to_bytes(width, "big")
+
+    def verify(
+        self, public: SchnorrPublicKey, message: bytes, signature: bytes
+    ) -> bool:
+        """Check an (e, s) signature."""
+        width = (self.q.bit_length() + 7) // 8
+        if len(signature) != 2 * width:
+            return False
+        e = int.from_bytes(signature[:width], "big")
+        s = int.from_bytes(signature[width:], "big")
+        if not (0 <= e < self.q and 0 <= s < self.q):
+            return False
+        # r' = g^s * y^{-e}
+        r = (
+            pow(self.g, s, self.p)
+            * pow(public.y, self.q - e % self.q, self.p)
+        ) % self.p
+        return self._challenge(r, message) == e
+
+    # -- ElGamal KEM --------------------------------------------------------
+
+    def encrypt(
+        self, public: SchnorrPublicKey, plaintext: bytes, rng: random.Random
+    ) -> bytes:
+        """Hybrid encryption: ephemeral DH wraps a stream-cipher key."""
+        k = rng.randrange(1, self.q)
+        c1 = pow(self.g, k, self.p)
+        shared = pow(public.y, k, self.p)
+        key = digest(b"schnorr-kem|" + int_to_bytes(shared))
+        body = symmetric.encrypt(key, plaintext, rng)
+        width = (self.p.bit_length() + 7) // 8
+        return c1.to_bytes(width, "big") + body
+
+    def decrypt(self, private: SchnorrPrivateKey, blob: bytes) -> bytes:
+        """Invert :meth:`encrypt`.
+
+        Raises:
+            SchnorrError: on truncated or out-of-range ciphertexts.
+            repro.crypto.symmetric.AuthenticationError: on tampering.
+        """
+        width = (self.p.bit_length() + 7) // 8
+        if len(blob) <= width:
+            raise SchnorrError("truncated ciphertext")
+        c1 = int.from_bytes(blob[:width], "big")
+        if not 1 < c1 < self.p - 1:
+            raise SchnorrError("ephemeral share out of range")
+        shared = pow(c1, private.x, self.p)
+        key = digest(b"schnorr-kem|" + int_to_bytes(shared))
+        return symmetric.decrypt(key, blob[width:])
+
+
+class SchnorrCryptoProvider(CryptoProvider):
+    """Drop-in :class:`CryptoProvider` backed by Schnorr + ElGamal KEM."""
+
+    def __init__(
+        self,
+        rng: random.Random | None = None,
+        group: DhGroup | None = None,
+    ) -> None:
+        self._rng = rng if rng is not None else random.Random()
+        self._scheme = SchnorrScheme(group)
+
+    def generate_keypair(self):
+        return self._scheme.generate_keypair(self._rng)
+
+    def fingerprint(self, public_key: SchnorrPublicKey) -> bytes:
+        return public_key.fingerprint()
+
+    def sign(self, private_key: SchnorrPrivateKey, payload: bytes) -> bytes:
+        return self._scheme.sign(private_key, payload)
+
+    def verify(
+        self, public_key: SchnorrPublicKey, payload: bytes, signature: bytes
+    ) -> bool:
+        return self._scheme.verify(public_key, payload, signature)
+
+    def encrypt(self, public_key: SchnorrPublicKey, plaintext: bytes) -> bytes:
+        return self._scheme.encrypt(public_key, plaintext, self._rng)
+
+    def decrypt(self, private_key: SchnorrPrivateKey, ciphertext: bytes) -> bytes:
+        return self._scheme.decrypt(private_key, ciphertext)
+
+    def new_session_key(self, rng: random.Random) -> bytes:
+        a = self._scheme.group.private_exponent(rng)
+        b = self._scheme.group.private_exponent(rng)
+        return self._scheme.group.shared_secret(
+            a, self._scheme.group.public_value(b)
+        )

@@ -1,0 +1,126 @@
+"""Pairwise authenticated sessions between nodes in contact.
+
+A contact between two devices opens a *session* (Sec. IV-A): the peers
+exchange certificates (authenticating both identities), agree on a
+session key, and from then on every protocol message of the contact is
+carried encrypted under that key.  :class:`Session` packages those
+steps; :class:`SessionBroker` caches the handshake per contact so a
+single contact opening dozens of relay phases pays for one handshake.
+
+A selfish node can *refuse* a session (e.g. to dodge a test phase); the
+paper argues this is irrational because it also forfeits messages
+destined to the refuser.  The broker therefore exposes refusal as an
+explicit outcome so adversary strategies can model it and the
+simulator can charge the resulting utility loss.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .keys import Certificate, NodeIdentity
+from .provider import CryptoProvider
+from .symmetric import SymmetricChannel
+
+
+class SessionError(Exception):
+    """Raised when a handshake fails (bad certificate, refusal)."""
+
+
+@dataclass
+class Session:
+    """An established, mutually authenticated encrypted session.
+
+    Attributes:
+        initiator: certificate of the node that opened the session.
+        responder: certificate of the peer.
+        channel: symmetric channel keyed with the negotiated key.
+        opened_at: simulation time of establishment (seconds).
+    """
+
+    initiator: Certificate
+    responder: Certificate
+    channel: SymmetricChannel
+    opened_at: float
+
+    def peer_of(self, node_id: int) -> int:
+        """Return the other endpoint's node id.
+
+        Raises:
+            ValueError: if ``node_id`` is not an endpoint.
+        """
+        if node_id == self.initiator.node_id:
+            return self.responder.node_id
+        if node_id == self.responder.node_id:
+            return self.initiator.node_id
+        raise ValueError(f"node {node_id} is not part of this session")
+
+
+class SessionBroker:
+    """Establishes sessions between identities sharing one authority."""
+
+    def __init__(self, provider: CryptoProvider, rng: random.Random) -> None:
+        self._provider = provider
+        self._rng = rng
+
+    def handshake(
+        self,
+        initiator: NodeIdentity,
+        responder: NodeIdentity,
+        now: float,
+    ) -> Session:
+        """Run the certificate exchange + key agreement.
+
+        Both certificates are validated against the shared authority;
+        an invalid certificate aborts the handshake, which is what
+        evicted (blacklisted) nodes experience after a PoM broadcast.
+
+        Raises:
+            SessionError: if either certificate fails validation.
+        """
+        if not _cert_ok(initiator, responder.certificate):
+            raise SessionError(
+                f"responder certificate invalid (node {responder.node_id})"
+            )
+        if not _cert_ok(responder, initiator.certificate):
+            raise SessionError(
+                f"initiator certificate invalid (node {initiator.node_id})"
+            )
+        key = self._provider.new_session_key(self._rng)
+        channel = SymmetricChannel(key=key, rng=self._rng)
+        return Session(
+            initiator=initiator.certificate,
+            responder=responder.certificate,
+            channel=channel,
+            opened_at=now,
+        )
+
+
+def _cert_ok(verifier: NodeIdentity, cert: Certificate) -> bool:
+    """Validate ``cert`` against the verifier's trusted authority key."""
+    from .keys import _cert_payload  # local import: helper is module-private
+
+    return verifier.provider.verify(
+        verifier.authority_public_key,
+        _cert_payload(cert.node_id, cert.fingerprint),
+        cert.signature,
+    )
+
+
+def open_session_pair(
+    broker: SessionBroker,
+    a: NodeIdentity,
+    b: NodeIdentity,
+    now: float,
+) -> Tuple[Session, Optional[SessionError]]:
+    """Convenience wrapper returning ``(session, None)`` or ``(None, err)``.
+
+    Protocol drivers prefer this non-raising form inside the hot
+    contact-processing loop.
+    """
+    try:
+        return broker.handshake(a, b, now), None
+    except SessionError as err:
+        return None, err  # type: ignore[return-value]

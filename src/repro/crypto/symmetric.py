@@ -1,0 +1,100 @@
+"""Symmetric stream cipher used for in-session encryption.
+
+After the DH handshake, "every communication during the session is
+encrypted with a symmetric algorithm like AES and the session key"
+(Sec. IV-A).  With no AES available offline, we implement a SHA-256
+counter-mode stream cipher with an HMAC authentication tag — a
+standard encrypt-then-MAC construction whose behavior (confidentiality
+plus integrity under a shared key) matches what the protocols need.
+
+The same primitive also implements ``E_k(m)`` from step 3 of the relay
+phase, where the message is handed over under a random key ``k`` that
+is revealed only after the Proof of Relay is signed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .hashing import DIGEST_SIZE, constant_time_equal, digest, hmac_digest
+
+#: Length of the random per-message nonce.
+NONCE_SIZE = 16
+
+#: Length of the authentication tag.
+TAG_SIZE = DIGEST_SIZE
+
+
+class AuthenticationError(Exception):
+    """Raised when a ciphertext fails tag verification."""
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """Generate ``length`` keystream bytes from ``(key, nonce)``."""
+    out = bytearray()
+    block = 0
+    while len(out) < length:
+        out += digest(key + nonce + block.to_bytes(8, "big"))
+        block += 1
+    return bytes(out[:length])
+
+
+def random_key(rng: random.Random) -> bytes:
+    """Sample a fresh 32-byte symmetric key."""
+    return bytes(rng.getrandbits(8) for _ in range(DIGEST_SIZE))
+
+
+def encrypt(key: bytes, plaintext: bytes, rng: random.Random) -> bytes:
+    """Encrypt-then-MAC ``plaintext`` under ``key``.
+
+    Layout: ``nonce || ciphertext || tag`` where the tag authenticates
+    the nonce and ciphertext under a key derived from ``key``.
+    """
+    nonce = bytes(rng.getrandbits(8) for _ in range(NONCE_SIZE))
+    stream = _keystream(key, nonce, len(plaintext))
+    ciphertext = bytes(a ^ b for a, b in zip(plaintext, stream))
+    tag = hmac_digest(digest(b"mac|" + key), nonce + ciphertext)
+    return nonce + ciphertext + tag
+
+
+def decrypt(key: bytes, blob: bytes) -> bytes:
+    """Invert :func:`encrypt`.
+
+    Raises:
+        AuthenticationError: if the blob is too short or the tag does
+            not verify (wrong key or tampered ciphertext).
+    """
+    if len(blob) < NONCE_SIZE + TAG_SIZE:
+        raise AuthenticationError("ciphertext too short")
+    nonce = blob[:NONCE_SIZE]
+    ciphertext = blob[NONCE_SIZE:-TAG_SIZE]
+    tag = blob[-TAG_SIZE:]
+    expected = hmac_digest(digest(b"mac|" + key), nonce + ciphertext)
+    if not constant_time_equal(tag, expected):
+        raise AuthenticationError("authentication tag mismatch")
+    stream = _keystream(key, nonce, len(ciphertext))
+    return bytes(a ^ b for a, b in zip(ciphertext, stream))
+
+
+@dataclass
+class SymmetricChannel:
+    """A bidirectional encrypted channel bound to one session key.
+
+    Thin convenience wrapper so protocol code reads naturally::
+
+        channel = SymmetricChannel(session_key, rng)
+        wire_bytes = channel.seal(payload)
+        payload = channel.open(wire_bytes)
+    """
+
+    key: bytes
+    rng: random.Random
+
+    def seal(self, plaintext: bytes) -> bytes:
+        """Encrypt and authenticate ``plaintext``."""
+        return encrypt(self.key, plaintext, self.rng)
+
+    def open(self, blob: bytes) -> bytes:
+        """Decrypt and verify ``blob``; raises on tampering."""
+        return decrypt(self.key, blob)

@@ -1,0 +1,47 @@
+"""Experiment harness: one module per paper table/figure plus ablations.
+
+Each module exposes ``run(quick=False)`` returning structured results
+with a ``render()`` text form; the benchmark suite under
+``benchmarks/`` drives these and prints the paper-shaped tables.
+"""
+
+from . import ablations, fig3, fig4, fig5, fig7, fig8, sweeps, table1
+from .catalog import LABELS, PROTOCOLS, protocol
+from .runner import FigureData, PointResult, ReplicationPlan, Series, run_point
+from .sweeps import RunSpec, SweepRunner, dropper_grid
+from .setting import (
+    COMMUNITY_PARAMS,
+    TRACES,
+    adversary_counts,
+    evaluation_community,
+    evaluation_trace,
+    standard_config,
+)
+
+__all__ = [
+    "COMMUNITY_PARAMS",
+    "FigureData",
+    "LABELS",
+    "PROTOCOLS",
+    "PointResult",
+    "ReplicationPlan",
+    "Series",
+    "TRACES",
+    "ablations",
+    "adversary_counts",
+    "evaluation_community",
+    "evaluation_trace",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig7",
+    "fig8",
+    "protocol",
+    "run_point",
+    "RunSpec",
+    "standard_config",
+    "SweepRunner",
+    "dropper_grid",
+    "sweeps",
+    "table1",
+]

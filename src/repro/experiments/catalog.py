@@ -1,0 +1,55 @@
+"""Protocol catalog: names → (family, factory) for the experiments."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from ..core.g2g_delegation import G2GDelegationForwarding
+from ..core.g2g_epidemic import G2GEpidemicForwarding
+from ..protocols.delegation import DelegationForwarding
+from ..protocols.epidemic import EpidemicForwarding
+
+#: name -> (ttl family, zero-arg factory building a fresh instance).
+PROTOCOLS: Dict[str, Tuple[str, Callable[[], object]]] = {
+    "epidemic": ("epidemic", EpidemicForwarding),
+    "g2g_epidemic": ("epidemic", G2GEpidemicForwarding),
+    "delegation_last_contact": (
+        "delegation",
+        lambda: DelegationForwarding("last_contact"),
+    ),
+    "delegation_frequency": (
+        "delegation",
+        lambda: DelegationForwarding("frequency"),
+    ),
+    "g2g_delegation_last_contact": (
+        "delegation",
+        lambda: G2GDelegationForwarding("last_contact"),
+    ),
+    "g2g_delegation_frequency": (
+        "delegation",
+        lambda: G2GDelegationForwarding("frequency"),
+    ),
+}
+
+#: Display labels matching the paper's legends (Fig. 8).
+LABELS: Dict[str, str] = {
+    "epidemic": "Epidemic",
+    "g2g_epidemic": "G2G Epidemic",
+    "delegation_last_contact": "Deleg.Dest Last Contact",
+    "delegation_frequency": "Deleg.Dest Frequency",
+    "g2g_delegation_last_contact": "G2G Dest Last Contact",
+    "g2g_delegation_frequency": "G2G Dest Frequency",
+}
+
+
+def protocol(name: str) -> Tuple[str, Callable[[], object]]:
+    """Look up ``(family, factory)`` by protocol name.
+
+    Raises:
+        KeyError: for unknown names.
+    """
+    if name not in PROTOCOLS:
+        raise KeyError(
+            f"unknown protocol {name!r}; expected one of {sorted(PROTOCOLS)}"
+        )
+    return PROTOCOLS[name]

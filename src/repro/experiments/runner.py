@@ -1,0 +1,204 @@
+"""Shared run/aggregate plumbing for the experiment modules.
+
+An experiment is a grid of simulation runs; each grid point averages a
+few re-seeded runs.  :func:`run_point` executes one point given a
+protocol factory and an adversary specification, and returns the
+averaged metrics the paper plots (success %, delay, cost, detection
+rate, detection time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..adversaries.factory import strategy_population
+from ..sim.engine import Simulation
+from ..sim.results import SimulationResults
+from .setting import (
+    ReplicationPlan,
+    evaluation_community,
+    evaluation_trace,
+    standard_config,
+)
+
+#: A protocol factory: builds a *fresh* protocol instance per run.
+ProtocolFactory = Callable[[], object]
+
+
+@dataclass
+class PointResult:
+    """Averaged metrics of one grid point.
+
+    All quantities are means over the replication seeds; raw per-run
+    results are retained for deeper analysis.
+    """
+
+    success_rate: float
+    mean_delay: float
+    cost: float
+    memory_byte_seconds: float
+    detection_rate: float
+    detection_delay: float
+    detection_delay_after_ttl: float
+    false_positives: int
+    runs: List[SimulationResults] = field(repr=False, default_factory=list)
+
+    @property
+    def success_percent(self) -> float:
+        """Success rate in percent (the paper's y-axis)."""
+        return 100.0 * self.success_rate
+
+
+def run_point(
+    trace_name: str,
+    family: str,
+    protocol_factory: ProtocolFactory,
+    deviation: Optional[str] = None,
+    deviation_count: int = 0,
+    plan: Optional[ReplicationPlan] = None,
+    config_overrides: Optional[Dict[str, object]] = None,
+) -> PointResult:
+    """Run one grid point and average the replications.
+
+    Args:
+        trace_name: "infocom05" or "cambridge06".
+        family: "epidemic" or "delegation" (selects the paper TTL).
+        protocol_factory: builds a fresh protocol per run.
+        deviation: adversary kind (see
+            :mod:`repro.adversaries.factory`), or None for all-honest.
+        deviation_count: how many nodes deviate.
+        plan: replication plan (defaults to the standard 3 seeds).
+        config_overrides: optional :class:`SimulationConfig` overrides.
+    """
+    import dataclasses
+
+    if plan is None:
+        plan = ReplicationPlan()
+    trace = evaluation_trace(trace_name)
+    community = evaluation_community(trace_name)
+    runs: List[SimulationResults] = []
+    rates: List[float] = []
+    delays: List[float] = []
+    costs: List[float] = []
+    memories: List[float] = []
+    det_rates: List[float] = []
+    det_delays: List[float] = []
+    det_delays_ttl: List[float] = []
+    false_pos = 0
+    for seed in plan.seeds:
+        config = standard_config(trace_name, family, seed)
+        if config_overrides:
+            config = dataclasses.replace(config, **config_overrides)
+        strategies = None
+        misbehaving: Tuple[int, ...] = ()
+        if deviation is not None and deviation_count > 0:
+            strategies, misbehaving = strategy_population(
+                trace.nodes,
+                deviation,
+                deviation_count,
+                seed=seed,
+                community=community,
+            )
+        result = Simulation(
+            trace,
+            protocol_factory(),
+            config,
+            strategies=strategies,
+            community=community,
+        ).run()
+        runs.append(result)
+        rates.append(result.success_rate)
+        delays.append(result.mean_delay)
+        costs.append(result.cost)
+        memories.append(result.total_memory_byte_seconds)
+        if misbehaving:
+            det_rates.append(result.detection_rate(misbehaving))
+            if result.detections:
+                det_delays.append(result.mean_offender_detection_delay())
+                det_delays_ttl.append(result.mean_detection_delay())
+            false_pos += len(result.false_positives(misbehaving))
+    return PointResult(
+        success_rate=float(np.mean(rates)),
+        mean_delay=float(np.mean(delays)),
+        cost=float(np.mean(costs)),
+        memory_byte_seconds=float(np.mean(memories)),
+        detection_rate=float(np.mean(det_rates)) if det_rates else 0.0,
+        detection_delay=float(np.mean(det_delays)) if det_delays else 0.0,
+        detection_delay_after_ttl=(
+            float(np.mean(det_delays_ttl)) if det_delays_ttl else 0.0
+        ),
+        false_positives=false_pos,
+        runs=runs,
+    )
+
+
+@dataclass
+class Series:
+    """One plotted line: label plus (x, y) points."""
+
+    label: str
+    xs: List[float] = field(default_factory=list)
+    ys: List[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        """Append one point."""
+        self.xs.append(x)
+        self.ys.append(y)
+
+    def as_rows(self) -> List[Tuple[float, float]]:
+        """Points as (x, y) tuples."""
+        return list(zip(self.xs, self.ys))
+
+
+@dataclass
+class FigureData:
+    """A reproduced figure: id, axis labels, and its series."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: List[Series] = field(default_factory=list)
+
+    def series_by_label(self, label: str) -> Series:
+        """Find a series by its label.
+
+        Raises:
+            KeyError: if absent.
+        """
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(label)
+
+    def render(self, chart: bool = True) -> str:
+        """Plain-text rendering: the data table plus an ASCII chart."""
+        lines = [f"== {self.figure_id}: {self.title} =="]
+        if not self.series:
+            return "\n".join(lines + ["(no data)"])
+        xs = self.series[0].xs
+        header = [self.x_label] + [s.label for s in self.series]
+        widths = [max(14, len(h) + 2) for h in header]
+        lines.append(
+            "".join(h.ljust(w) for h, w in zip(header, widths))
+        )
+        for i, x in enumerate(xs):
+            cells = [f"{x:g}"]
+            for s in self.series:
+                cells.append(f"{s.ys[i]:.2f}" if i < len(s.ys) else "-")
+            lines.append(
+                "".join(c.ljust(w) for c, w in zip(cells, widths))
+            )
+        lines.append(f"({self.y_label})")
+        if chart and any(s.xs for s in self.series):
+            from ..metrics.asciichart import ascii_chart
+
+            lines.append(
+                ascii_chart(
+                    self.series, y_label=self.y_label, x_label=self.x_label
+                )
+            )
+        return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Terminal line charts for reproduced figures.
+
+The benchmark harness prints each reproduced figure as a table; this
+module adds a dependency-free ASCII chart so the *shape* of a figure
+(the thing this reproduction is accountable for) is visible at a
+glance in CI logs and terminals::
+
+    100 |
+        | A
+     75 |    A  B
+        |       A   B
+     50 |            A    B
+        |                  A
+     25 |______________________________________ x -->
+
+Each series gets a one-character marker; collisions print ``*``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+#: Marker characters assigned to series in order.
+MARKERS = "ABCDEFGHIJ"
+
+
+def ascii_chart(
+    series: Sequence,
+    width: int = 60,
+    height: int = 16,
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render :class:`repro.experiments.runner.Series` objects.
+
+    Args:
+        series: objects with ``label``, ``xs``, ``ys`` attributes.
+        width: plot area width in characters.
+        height: plot area height in rows.
+        y_label / x_label: axis captions.
+
+    Returns:
+        The chart as a multi-line string (legend included).  Empty or
+        degenerate input yields a short placeholder.
+    """
+    points = [
+        (s, x, y)
+        for s in series
+        for x, y in zip(s.xs, s.ys)
+    ]
+    if not points:
+        return "(no data to chart)"
+
+    xs = [x for _, x, _ in points]
+    ys = [y for _, _, y in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    def col(x: float) -> int:
+        return round((x - x_min) / (x_max - x_min) * (width - 1))
+
+    def row(y: float) -> int:
+        # row 0 is the top of the plot.
+        return (height - 1) - round(
+            (y - y_min) / (y_max - y_min) * (height - 1)
+        )
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for index, s in enumerate(series):
+        marker = MARKERS[index % len(MARKERS)]
+        for x, y in zip(s.xs, s.ys):
+            r, c = row(y), col(x)
+            grid[r][c] = "*" if grid[r][c] not in (" ", marker) else marker
+
+    gutter = max(len(f"{y_max:g}"), len(f"{y_min:g}"))
+    lines: List[str] = []
+    for r, cells in enumerate(grid):
+        if r == 0:
+            label = f"{y_max:g}".rjust(gutter)
+        elif r == height - 1:
+            label = f"{y_min:g}".rjust(gutter)
+        else:
+            label = " " * gutter
+        lines.append(f"{label} |" + "".join(cells))
+    axis = " " * gutter + " +" + "-" * width
+    lines.append(axis)
+    footer = (
+        " " * gutter
+        + f"  x: {x_min:g} .. {x_max:g}"
+        + (f"  ({x_label})" if x_label else "")
+    )
+    lines.append(footer)
+    if y_label:
+        lines.append(" " * gutter + f"  y: {y_label}")
+    legend = "  ".join(
+        f"{MARKERS[i % len(MARKERS)]}={s.label}" for i, s in enumerate(series)
+    )
+    lines.append(" " * gutter + "  " + legend)
+    return "\n".join(lines)
+
+
+def chart_figure(figure, width: int = 60, height: int = 16) -> str:
+    """Chart a :class:`repro.experiments.runner.FigureData`."""
+    header = f"== {figure.figure_id}: {figure.title} =="
+    body = ascii_chart(
+        figure.series,
+        width=width,
+        height=height,
+        y_label=figure.y_label,
+        x_label=figure.x_label,
+    )
+    return header + "\n" + body

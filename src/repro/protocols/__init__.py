@@ -1,0 +1,27 @@
+"""Baseline forwarding protocols and the protocol interface."""
+
+from .base import (
+    ForwardingProtocol,
+    SimulationContext,
+    exchange_pairs,
+    make_room,
+)
+from .bubble import BubbleRapForwarding
+from .delegation import DelegationForwarding
+from .epidemic import EpidemicForwarding
+from .prophet import ProphetForwarding
+from .quality import QualityTracker
+from .spray_wait import SprayAndWaitForwarding
+
+__all__ = [
+    "BubbleRapForwarding",
+    "DelegationForwarding",
+    "EpidemicForwarding",
+    "ForwardingProtocol",
+    "ProphetForwarding",
+    "QualityTracker",
+    "SimulationContext",
+    "SprayAndWaitForwarding",
+    "exchange_pairs",
+    "make_room",
+]

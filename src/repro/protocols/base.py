@@ -1,0 +1,183 @@
+"""Forwarding-protocol interface and the shared simulation context.
+
+A protocol object is bound to one simulation run via
+:meth:`ForwardingProtocol.bind` and then driven by the engine through
+the event hooks.  Protocols are *network-wide coordinators*: they hold
+no per-run state of their own beyond what lives in the per-node
+:class:`~repro.sim.node.NodeState` objects, which keeps a single
+protocol implementation reusable across runs and makes node state
+inspectable in tests.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+import random
+
+from ..core.blacklist import BlacklistService, InstantBlacklist
+from ..sim.eventlog import EventLog, EventType
+from ..sim.config import SimulationConfig
+from ..sim.messages import Message
+from ..sim.node import NodeState
+from ..sim.results import SimulationResults
+from ..traces.trace import NodeId
+
+
+@dataclass
+class SimulationContext:
+    """Everything a protocol needs during a run.
+
+    Attributes:
+        config: run parameters.
+        nodes: per-node runtime state.
+        results: metrics sink.
+        rng: protocol-side randomness (distinct stream from traffic).
+        blacklist: PoM propagation service.
+        community: optional community oracle (``same_community``).
+        active_contacts: currently open contacts as unordered pairs.
+    """
+
+    config: SimulationConfig
+    nodes: Dict[NodeId, NodeState]
+    results: SimulationResults
+    rng: random.Random
+    blacklist: BlacklistService = field(default_factory=InstantBlacklist)
+    community: Optional[object] = None
+    active_contacts: Set[frozenset] = field(default_factory=set)
+    events: EventLog = field(default_factory=lambda: EventLog(enabled=False))
+
+    def node(self, node_id: NodeId) -> NodeState:
+        """Runtime state of ``node_id``."""
+        return self.nodes[node_id]
+
+    def active_neighbors(self, node_id: NodeId) -> Iterable[NodeId]:
+        """Peers currently in contact with ``node_id`` (unevicted)."""
+        for pair in self.active_contacts:
+            if node_id in pair:
+                (peer,) = pair - {node_id}
+                if not self.nodes[peer].evicted:
+                    yield peer
+
+    def usable_pair(self, a: NodeId, b: NodeId) -> bool:
+        """True when a session between ``a`` and ``b`` can open.
+
+        Evicted nodes cannot open sessions at all; otherwise each
+        endpoint refuses if it knows the peer is convicted.
+        """
+        node_a, node_b = self.nodes[a], self.nodes[b]
+        if node_a.evicted or node_b.evicted:
+            return False
+        return not (
+            self.blacklist.knows(a, b) or self.blacklist.knows(b, a)
+        )
+
+    def evict(self, offender: NodeId, now: float) -> None:
+        """Remove a convicted node from the network.
+
+        With the instant blacklist this is global and final; with
+        gossip, the node stays "physically" present but is recorded as
+        evicted once conviction becomes network-wide knowledge is not
+        required — the simulator considers the first conviction the
+        eviction instant for metric purposes.
+        """
+        node = self.nodes[offender]
+        if node.evicted:
+            return
+        node.evicted = True
+        node.flush(now, self.results)
+        self.results.record_eviction(offender, now)
+        self.events.log(now, EventType.EVICTED, actor=offender)
+
+    def same_community(self, a: NodeId, b: NodeId) -> bool:
+        """Community oracle passthrough.
+
+        Raises:
+            RuntimeError: if no community oracle was configured.
+        """
+        if self.community is None:
+            raise RuntimeError("no community oracle configured")
+        return self.community.same_community(a, b)
+
+
+class ForwardingProtocol(ABC):
+    """Base class of all forwarding protocols.
+
+    Lifecycle: ``bind(ctx)`` once per run, then the engine calls
+    ``on_message_generated`` / ``on_contact_start`` / ``on_contact_end``
+    in event order and ``finalize`` at the end of the run.
+    """
+
+    #: Human-readable protocol name (used in result tables).
+    name: str = "abstract"
+    #: TTL family: "epidemic" or "delegation" (selects the paper TTL).
+    family: str = "epidemic"
+
+    def __init__(self) -> None:
+        self.ctx: Optional[SimulationContext] = None
+
+    def bind(self, ctx: SimulationContext) -> None:
+        """Attach the protocol to a run; subclasses extend."""
+        self.ctx = ctx
+
+    @abstractmethod
+    def on_message_generated(self, message: Message, now: float) -> None:
+        """A new message appeared at its source."""
+
+    @abstractmethod
+    def on_contact_start(self, a: NodeId, b: NodeId, now: float) -> None:
+        """Two nodes came into range."""
+
+    def on_contact_end(self, a: NodeId, b: NodeId, now: float) -> None:
+        """Two nodes left range (default: nothing to do)."""
+
+    def finalize(self, now: float) -> None:
+        """End-of-run cleanup (default: settle node accounting)."""
+        assert self.ctx is not None
+        for node in self.ctx.nodes.values():
+            node.flush(now, self.ctx.results)
+
+
+def exchange_pairs(a: NodeId, b: NodeId) -> Tuple[Tuple[NodeId, NodeId], ...]:
+    """Both directed orderings of a contact, deterministic order."""
+    return ((a, b), (b, a))
+
+
+def make_room(ctx: SimulationContext, node: NodeState, now: float) -> None:
+    """Enforce the configured buffer capacity before a new store.
+
+    The paper assumes infinite buffers; with a finite
+    ``config.buffer_capacity`` the node evicts the buffered body
+    closest to its TTL expiry (the copy with the least forwarding
+    future).  In G2G runs an evicted body can later cost the node a
+    failed storage challenge — the realistic memory-pressure risk the
+    finite-buffer ablation quantifies.
+    """
+    capacity = ctx.config.buffer_capacity
+    if capacity is None:
+        return
+    bodies = [
+        copy for copy in node.buffer.values() if not copy.body_dropped
+    ]
+    while len(bodies) >= capacity:
+        # Risk-aware victim choice: a node's *own* messages carry no
+        # test obligation, so they go first; among relayed bodies the
+        # earliest-expiring one has the least forwarding future left.
+        victim = min(
+            bodies,
+            key=lambda c: (
+                c.message.source != node.node_id,
+                c.message.expires_at,
+            ),
+        )
+        node.drop(victim.message.msg_id, now, ctx.results)
+        ctx.results.buffer_evictions += 1
+        ctx.events.log(
+            now,
+            EventType.BUFFER_EVICTED,
+            msg_id=victim.message.msg_id,
+            actor=node.node_id,
+        )
+        bodies.remove(victim)

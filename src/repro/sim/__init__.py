@@ -1,0 +1,34 @@
+"""Discrete-event DTN simulator driven by contact traces."""
+
+from .config import EnergyModel, SimulationConfig, config_for
+from .engine import Simulation, run_simulation
+from .events import Event, EventKind, EventQueue
+from .messages import Message, StoredCopy
+from .node import NodeState
+from .results import DetectionRecord, MessageRecord, SimulationResults
+from .serialize import load_results, results_from_dict, results_to_dict, save_results
+from .traffic import PoissonTraffic, TrafficDemand, demands_to_messages
+
+__all__ = [
+    "DetectionRecord",
+    "EnergyModel",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "Message",
+    "MessageRecord",
+    "NodeState",
+    "PoissonTraffic",
+    "Simulation",
+    "SimulationConfig",
+    "SimulationResults",
+    "StoredCopy",
+    "TrafficDemand",
+    "config_for",
+    "demands_to_messages",
+    "load_results",
+    "results_from_dict",
+    "results_to_dict",
+    "run_simulation",
+    "save_results",
+]

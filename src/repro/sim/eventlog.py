@@ -1,0 +1,142 @@
+"""Structured protocol event log.
+
+Simulations answer "what were the metrics"; debugging and auditing ask
+"what exactly happened".  When enabled (``config.track_events``), the
+protocols append one :class:`ProtocolEvent` per notable action —
+hand-offs, deliveries, test phases, proofs of misbehavior, buffer
+evictions — and the log supports filtered queries and a compact text
+timeline (used by the selfishness-audit example).
+
+The log is bounded-memory by construction: one fixed-size record per
+event, no message payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Iterator, List, Optional
+
+from ..traces.trace import NodeId
+
+
+class EventType(Enum):
+    """Kinds of logged protocol events."""
+
+    GENERATED = "generated"
+    RELAYED = "relayed"
+    DELIVERED = "delivered"
+    DROPPED = "dropped"          # a strategy discarded a relayed copy
+    TEST_PASSED = "test_passed"
+    TEST_FAILED = "test_failed"
+    POM = "pom"
+    EVICTED = "evicted"
+    BUFFER_EVICTED = "buffer_evicted"
+
+
+@dataclass(frozen=True)
+class ProtocolEvent:
+    """One logged event.
+
+    Attributes:
+        time: simulation time.
+        event_type: what happened.
+        msg_id: message involved (-1 when not applicable).
+        actor: the node acting (giver / tester / detector).
+        subject: the other party (taker / testee / offender), if any.
+        detail: short free-form annotation ("storage_challenge",
+            "dropper", ...).
+    """
+
+    time: float
+    event_type: EventType
+    msg_id: int = -1
+    actor: Optional[NodeId] = None
+    subject: Optional[NodeId] = None
+    detail: str = ""
+
+
+class EventLog:
+    """Append-only event log with filtered views."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._events: List[ProtocolEvent] = []
+
+    def log(
+        self,
+        time: float,
+        event_type: EventType,
+        msg_id: int = -1,
+        actor: Optional[NodeId] = None,
+        subject: Optional[NodeId] = None,
+        detail: str = "",
+    ) -> None:
+        """Record one event (no-op while disabled)."""
+        if not self.enabled:
+            return
+        self._events.append(
+            ProtocolEvent(
+                time=time,
+                event_type=event_type,
+                msg_id=msg_id,
+                actor=actor,
+                subject=subject,
+                detail=detail,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[ProtocolEvent]:
+        return iter(self._events)
+
+    def filter(
+        self,
+        event_type: Optional[EventType] = None,
+        msg_id: Optional[int] = None,
+        node: Optional[NodeId] = None,
+        predicate: Optional[Callable[[ProtocolEvent], bool]] = None,
+    ) -> List[ProtocolEvent]:
+        """Events matching every given criterion.
+
+        ``node`` matches either role (actor or subject).
+        """
+        out = []
+        for event in self._events:
+            if event_type is not None and event.event_type != event_type:
+                continue
+            if msg_id is not None and event.msg_id != msg_id:
+                continue
+            if node is not None and node not in (event.actor, event.subject):
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            out.append(event)
+        return out
+
+    def message_timeline(self, msg_id: int) -> List[ProtocolEvent]:
+        """Every event touching one message, in time order."""
+        return sorted(self.filter(msg_id=msg_id), key=lambda e: e.time)
+
+    def node_timeline(self, node: NodeId) -> List[ProtocolEvent]:
+        """Every event involving one node, in time order."""
+        return sorted(self.filter(node=node), key=lambda e: e.time)
+
+    def render(self, events: Optional[List[ProtocolEvent]] = None) -> str:
+        """Compact text timeline."""
+        rows = events if events is not None else list(self._events)
+        lines = []
+        for e in sorted(rows, key=lambda ev: ev.time):
+            actors = ""
+            if e.actor is not None and e.subject is not None:
+                actors = f" {e.actor}->{e.subject}"
+            elif e.actor is not None:
+                actors = f" {e.actor}"
+            msg = f" msg={e.msg_id}" if e.msg_id >= 0 else ""
+            detail = f" ({e.detail})" if e.detail else ""
+            lines.append(
+                f"[{e.time:9.1f}s] {e.event_type.value:<14}{actors}{msg}{detail}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Discrete-event machinery for the contact-trace simulator.
+
+The simulator advances through three kinds of events in global time
+order: contact starts, contact ends, and message generations.  Events
+are totally ordered by ``(time, priority, sequence)`` — ends sort
+before starts at the same instant (so back-to-back contacts of one
+pair do not overlap), and generations sort after starts so a message
+created at the very moment a contact opens can use that contact.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Iterator, List, Optional, Tuple
+
+from ..traces.trace import Contact, NodeId
+
+
+class EventKind(IntEnum):
+    """Event ordering priority at equal timestamps."""
+
+    CONTACT_END = 0
+    CONTACT_START = 1
+    MESSAGE_GENERATION = 2
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled simulator event.
+
+    Exactly one of ``contact`` / ``traffic`` is set, matching ``kind``.
+    """
+
+    time: float
+    kind: EventKind
+    contact: Optional[Contact] = None
+    traffic: Optional[Tuple[NodeId, NodeId]] = None  # (source, destination)
+
+
+class EventQueue:
+    """A time-ordered event queue.
+
+    Thin wrapper over ``heapq`` keeping a deterministic tiebreak
+    sequence; supports bulk-loading a contact trace.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, int, Event]] = []
+        self._sequence = 0
+
+    def push(self, event: Event) -> None:
+        """Schedule ``event``."""
+        heapq.heappush(
+            self._heap, (event.time, int(event.kind), self._sequence, event)
+        )
+        self._sequence += 1
+
+    def push_contact(self, contact: Contact) -> None:
+        """Schedule the start and end events of a contact."""
+        self.push(
+            Event(time=contact.start, kind=EventKind.CONTACT_START, contact=contact)
+        )
+        self.push(
+            Event(time=contact.end, kind=EventKind.CONTACT_END, contact=contact)
+        )
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event.
+
+        Raises:
+            IndexError: if the queue is empty.
+        """
+        return heapq.heappop(self._heap)[3]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def drain(self) -> Iterator[Event]:
+        """Yield events in time order until the queue is empty."""
+        while self._heap:
+            yield self.pop()

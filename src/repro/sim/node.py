@@ -1,0 +1,131 @@
+"""Per-node runtime state.
+
+A :class:`NodeState` is the simulator-side embodiment of one device:
+its message buffer, the set of message ids it has handled ("have you
+already handled a message with hash H(m)?" — step 1 of the relay
+phase), its strategy, optional cryptographic identity, and running
+energy/memory accounting.
+
+Buffer mutations go through the ``store`` / ``drop`` helpers so that
+memory byte-seconds are integrated correctly: every mutation first
+settles the buffer-size integral up to ``now``, then applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Set
+
+from ..adversaries.base import HONEST, Strategy
+from ..crypto.keys import NodeIdentity
+from ..traces.trace import NodeId
+from .messages import Message, StoredCopy
+from .results import SimulationResults
+
+
+@dataclass
+class NodeState:
+    """Mutable runtime state of one node.
+
+    Attributes:
+        node_id: the node's identifier (matches the trace).
+        strategy: behavioral strategy (honest or a deviation).
+        identity: cryptographic identity (G2G protocols only).
+        buffer: live message copies by message id.
+        seen: message ids this node has handled at some point —
+            the honest answer to a RELAY_RQST.
+        evicted: True once removed from the network by a PoM.
+        extra: protocol-private state (quality trackers, held proofs,
+            pending test obligations...).
+    """
+
+    node_id: NodeId
+    strategy: Strategy = HONEST
+    identity: Optional[NodeIdentity] = None
+    buffer: Dict[int, StoredCopy] = field(default_factory=dict)
+    seen: Set[int] = field(default_factory=set)
+    evicted: bool = False
+    extra: Dict[str, Any] = field(default_factory=dict)
+    _buffer_bytes: int = 0
+    _memory_clock: float = 0.0
+
+    def has_copy(self, msg_id: int) -> bool:
+        """True while a live copy is buffered."""
+        return msg_id in self.buffer
+
+    def has_seen(self, msg_id: int) -> bool:
+        """True if the node ever handled the message."""
+        return msg_id in self.seen
+
+    # -- memory-accounted buffer mutations -----------------------------
+
+    def _settle_memory(self, now: float, results: SimulationResults) -> None:
+        """Integrate buffer occupancy up to ``now``."""
+        dt = now - self._memory_clock
+        if dt > 0 and self._buffer_bytes:
+            results.add_memory(self.node_id, self._buffer_bytes * dt)
+        self._memory_clock = max(self._memory_clock, now)
+
+    def store(
+        self, copy: StoredCopy, now: float, results: SimulationResults
+    ) -> StoredCopy:
+        """Buffer a new copy (marks the message as seen).
+
+        Raises:
+            ValueError: if a copy of the same message is already held.
+        """
+        msg_id = copy.message.msg_id
+        if msg_id in self.buffer:
+            raise ValueError(
+                f"node {self.node_id} already holds message {msg_id}"
+            )
+        self._settle_memory(now, results)
+        self.buffer[msg_id] = copy
+        self.seen.add(msg_id)
+        self._buffer_bytes += copy.message.size_bytes
+        return copy
+
+    def drop(
+        self, msg_id: int, now: float, results: SimulationResults
+    ) -> Optional[StoredCopy]:
+        """Remove a copy entirely (body and bookkeeping)."""
+        copy = self.buffer.pop(msg_id, None)
+        if copy is not None:
+            self._settle_memory(now, results)
+            self._buffer_bytes -= (
+                0 if copy.body_dropped else copy.message.size_bytes
+            )
+        return copy
+
+    def drop_body(
+        self, msg_id: int, now: float, results: SimulationResults
+    ) -> None:
+        """Discard the payload bytes but keep the copy record.
+
+        Models the G2G rule that a relay may free the message once two
+        proofs of relay are collected (the proofs stay until Δ2).
+        """
+        copy = self.buffer.get(msg_id)
+        if copy is None or copy.body_dropped:
+            return
+        self._settle_memory(now, results)
+        copy.body_dropped = True
+        self._buffer_bytes -= copy.message.size_bytes
+
+    def flush(self, now: float, results: SimulationResults) -> None:
+        """Settle accounting and clear the buffer (eviction/run end)."""
+        self._settle_memory(now, results)
+        self.buffer.clear()
+        self._buffer_bytes = 0
+
+    def live_copies(self, now: float):
+        """Copies of messages still within their TTL, as a list.
+
+        A list (not a view) so protocols may mutate the buffer while
+        iterating.
+        """
+        return [
+            copy
+            for copy in self.buffer.values()
+            if copy.message.alive_at(now) and not copy.body_dropped
+        ]

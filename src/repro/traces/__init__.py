@@ -1,0 +1,117 @@
+"""Contact traces: data model, I/O, statistics, and synthetic generators.
+
+See DESIGN.md §3 for why the shipped experiments run on synthetic
+community-structured stand-ins of the CRAWDAD Infocom 05 and
+Cambridge 06 traces, and how the real traces drop in via
+:func:`repro.traces.io.load_trace`.
+"""
+
+from .mobility import (
+    MobilityConfig,
+    MobilitySimulator,
+    lab_config,
+    simulate_mobility,
+)
+from .fitting import (
+    ExponentialFit,
+    ParetoTailFit,
+    TraceDistributionReport,
+    analyze_trace,
+    empirical_ccdf,
+    fit_exponential,
+    fit_pareto_tail,
+    ks_distance,
+)
+from .io import (
+    TraceFormatError,
+    dump_trace,
+    load_trace,
+    load_trace_with_universe,
+    parse_trace,
+    save_trace,
+)
+from .presets import (
+    DELEGATION_TTL,
+    EPIDEMIC_TTL,
+    QUALITY_TIMEFRAME,
+    cambridge06,
+    infocom05,
+    standard_window,
+    trace_by_name,
+)
+from .stats import (
+    SummaryStats,
+    TraceProfile,
+    contact_durations,
+    contact_rate_matrix,
+    contacts_per_pair,
+    inter_contact_times,
+    pairwise_contacts,
+    reencounter_probability,
+)
+from .synthetic import (
+    ActivityWindow,
+    CommunityAssignment,
+    CommunityModelConfig,
+    SyntheticTrace,
+    generate,
+)
+from .trace import Contact, ContactTrace, NodeId, make_contact, merge_traces
+from .windows import (
+    SILENT_TAIL,
+    STANDARD_WINDOW,
+    EvaluationWindow,
+    active_windows,
+    busiest_window,
+)
+
+__all__ = [
+    "ActivityWindow",
+    "CommunityAssignment",
+    "CommunityModelConfig",
+    "Contact",
+    "ContactTrace",
+    "DELEGATION_TTL",
+    "EPIDEMIC_TTL",
+    "EvaluationWindow",
+    "NodeId",
+    "QUALITY_TIMEFRAME",
+    "SILENT_TAIL",
+    "STANDARD_WINDOW",
+    "SummaryStats",
+    "SyntheticTrace",
+    "TraceFormatError",
+    "TraceProfile",
+    "active_windows",
+    "busiest_window",
+    "analyze_trace",
+    "cambridge06",
+    "contact_durations",
+    "contact_rate_matrix",
+    "contacts_per_pair",
+    "dump_trace",
+    "empirical_ccdf",
+    "ExponentialFit",
+    "fit_exponential",
+    "fit_pareto_tail",
+    "generate",
+    "infocom05",
+    "inter_contact_times",
+    "ks_distance",
+    "lab_config",
+    "load_trace",
+    "load_trace_with_universe",
+    "make_contact",
+    "merge_traces",
+    "MobilityConfig",
+    "MobilitySimulator",
+    "pairwise_contacts",
+    "ParetoTailFit",
+    "parse_trace",
+    "reencounter_probability",
+    "save_trace",
+    "simulate_mobility",
+    "standard_window",
+    "trace_by_name",
+    "TraceDistributionReport",
+]

@@ -1,0 +1,157 @@
+"""Distributional analysis of contact traces.
+
+The PSN measurement literature (the paper's references [1], [2], [25])
+characterizes traces by their inter-contact time and contact duration
+distributions — famously debating power-law vs exponential tails.
+This module provides the analysis used to sanity-check the synthetic
+stand-ins against those stylized facts:
+
+* empirical CCDFs;
+* maximum-likelihood exponential fits;
+* Pareto (power-law) tail fits above a cut-off (Hill-style MLE);
+* a Kolmogorov-Smirnov distance to compare a sample against a fitted
+  model, so tests can assert which family describes a trace better.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .stats import contact_durations, inter_contact_times
+from .trace import ContactTrace
+
+
+@dataclass(frozen=True)
+class ExponentialFit:
+    """MLE exponential fit: rate = 1 / mean."""
+
+    rate: float
+    n: int
+
+    def ccdf(self, x: float) -> float:
+        """P(X > x) under the fitted model."""
+        return math.exp(-self.rate * max(0.0, x))
+
+    @property
+    def mean(self) -> float:
+        """Fitted mean."""
+        return 1.0 / self.rate
+
+
+@dataclass(frozen=True)
+class ParetoTailFit:
+    """Pareto tail above ``xmin``: P(X > x) = (x / xmin) ^ -alpha."""
+
+    alpha: float
+    xmin: float
+    n_tail: int
+
+    def ccdf(self, x: float) -> float:
+        """Tail CCDF (1.0 below the cut-off)."""
+        if x <= self.xmin:
+            return 1.0
+        return (x / self.xmin) ** (-self.alpha)
+
+
+def fit_exponential(sample: Sequence[float]) -> ExponentialFit:
+    """MLE exponential fit of a positive sample.
+
+    Raises:
+        ValueError: on empty or non-positive-mean samples.
+    """
+    arr = np.asarray([x for x in sample if x > 0], dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot fit an empty/non-positive sample")
+    return ExponentialFit(rate=1.0 / float(arr.mean()), n=int(arr.size))
+
+
+def fit_pareto_tail(
+    sample: Sequence[float], xmin: float
+) -> ParetoTailFit:
+    """Hill MLE for the Pareto tail exponent above ``xmin``.
+
+    Raises:
+        ValueError: when fewer than 5 observations exceed ``xmin``.
+    """
+    tail = np.asarray([x for x in sample if x > xmin], dtype=float)
+    if tail.size < 5:
+        raise ValueError(
+            f"only {tail.size} observations above xmin={xmin}; need >= 5"
+        )
+    alpha = tail.size / float(np.sum(np.log(tail / xmin)))
+    return ParetoTailFit(alpha=alpha, xmin=xmin, n_tail=int(tail.size))
+
+
+def empirical_ccdf(sample: Sequence[float]) -> List[Tuple[float, float]]:
+    """Sorted ``(x, P(X > x))`` pairs of the empirical distribution."""
+    arr = np.sort(np.asarray(sample, dtype=float))
+    n = arr.size
+    return [
+        (float(x), float(1.0 - (i + 1) / n)) for i, x in enumerate(arr)
+    ]
+
+
+def ks_distance(sample: Sequence[float], model_ccdf) -> float:
+    """Kolmogorov-Smirnov distance between a sample and a model.
+
+    Args:
+        sample: observations.
+        model_ccdf: callable ``x -> P(X > x)`` of the candidate model.
+
+    Returns:
+        ``sup_x |F_emp(x) - F_model(x)|`` evaluated at the sample
+        points (both one-sided steps checked).
+    """
+    arr = np.sort(np.asarray(sample, dtype=float))
+    n = arr.size
+    if n == 0:
+        raise ValueError("empty sample")
+    worst = 0.0
+    for i, x in enumerate(arr):
+        model_cdf = 1.0 - model_ccdf(float(x))
+        lo = i / n
+        hi = (i + 1) / n
+        worst = max(worst, abs(model_cdf - lo), abs(model_cdf - hi))
+    return worst
+
+
+@dataclass(frozen=True)
+class TraceDistributionReport:
+    """Fit summary of one trace's characteristic distributions."""
+
+    trace: str
+    inter_contact_exp: ExponentialFit
+    inter_contact_ks_exp: float
+    duration_exp: ExponentialFit
+    duration_ks_exp: float
+
+    def describe(self) -> str:
+        """Human-readable summary."""
+        return "\n".join(
+            [
+                f"distribution fits for {self.trace}:",
+                f"  inter-contact: exp(mean {self.inter_contact_exp.mean / 60:.1f} min), "
+                f"KS {self.inter_contact_ks_exp:.3f} (n={self.inter_contact_exp.n})",
+                f"  contact duration: exp(mean {self.duration_exp.mean:.0f} s), "
+                f"KS {self.duration_ks_exp:.3f} (n={self.duration_exp.n})",
+            ]
+        )
+
+
+def analyze_trace(trace: ContactTrace) -> TraceDistributionReport:
+    """Fit the characteristic distributions of ``trace``."""
+    gaps = [g for g in inter_contact_times(trace) if g > 0]
+    durations = contact_durations(trace)
+    gap_fit = fit_exponential(gaps)
+    duration_fit = fit_exponential(durations)
+    return TraceDistributionReport(
+        trace=trace.name,
+        inter_contact_exp=gap_fit,
+        inter_contact_ks_exp=ks_distance(gaps, gap_fit.ccdf),
+        duration_exp=duration_fit,
+        duration_ks_exp=ks_distance(durations, duration_fit.ccdf),
+    )

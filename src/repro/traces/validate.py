@@ -1,0 +1,126 @@
+"""Trace sanity validation.
+
+Raw contact logs — real CRAWDAD exports in particular — contain
+artifacts: duplicated sightings, overlapping intervals for one pair,
+zero-length blips, wild clock jumps.  :func:`validate_trace` audits a
+trace and returns a structured issue list so loaders can warn or
+repair before simulation; :func:`repair_trace` applies the standard
+fixes (merge overlaps, drop blips).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List
+
+from .stats import pairwise_contacts
+from .trace import Contact, ContactTrace, make_contact
+
+
+@dataclass(frozen=True)
+class TraceIssue:
+    """One detected anomaly.
+
+    Attributes:
+        kind: "overlap" / "blip" / "gap_outlier".
+        pair: the node pair involved.
+        detail: human-readable description.
+    """
+
+    kind: str
+    pair: FrozenSet[int]
+    detail: str
+
+
+def validate_trace(
+    trace: ContactTrace,
+    min_duration: float = 1.0,
+    gap_outlier_factor: float = 1000.0,
+) -> List[TraceIssue]:
+    """Audit a trace for common artifacts.
+
+    Args:
+        trace: the trace to audit.
+        min_duration: contacts shorter than this are flagged as blips.
+        gap_outlier_factor: a pair's inter-contact gap exceeding this
+            multiple of the pair's median gap is flagged (clock jumps,
+            deployment restarts).
+
+    Returns:
+        Issues in detection order (empty = clean).
+    """
+    issues: List[TraceIssue] = []
+    for pair, contacts in pairwise_contacts(trace).items():
+        previous = None
+        gaps: List[float] = []
+        for contact in contacts:
+            if contact.duration < min_duration:
+                issues.append(
+                    TraceIssue(
+                        kind="blip",
+                        pair=pair,
+                        detail=(
+                            f"{contact.duration:.3f}s contact at "
+                            f"t={contact.start:.1f}"
+                        ),
+                    )
+                )
+            if previous is not None:
+                if contact.start < previous.end:
+                    issues.append(
+                        TraceIssue(
+                            kind="overlap",
+                            pair=pair,
+                            detail=(
+                                f"contact at t={contact.start:.1f} starts "
+                                f"before previous ends at "
+                                f"t={previous.end:.1f}"
+                            ),
+                        )
+                    )
+                else:
+                    gaps.append(contact.start - previous.end)
+            previous = contact
+        if len(gaps) >= 4:
+            ordered = sorted(gaps)
+            median = ordered[len(ordered) // 2]
+            if median > 0:
+                for gap in gaps:
+                    if gap > gap_outlier_factor * median:
+                        issues.append(
+                            TraceIssue(
+                                kind="gap_outlier",
+                                pair=pair,
+                                detail=(
+                                    f"gap {gap:.0f}s vs median "
+                                    f"{median:.0f}s"
+                                ),
+                            )
+                        )
+    return issues
+
+
+def repair_trace(
+    trace: ContactTrace, min_duration: float = 1.0
+) -> ContactTrace:
+    """Apply the standard repairs: merge overlaps, drop blips.
+
+    Overlapping or touching contacts of the same pair are merged into
+    one interval; contacts still shorter than ``min_duration`` after
+    merging are dropped.  The node universe is preserved.
+    """
+    repaired: List[Contact] = []
+    for pair, contacts in pairwise_contacts(trace).items():
+        a, b = tuple(sorted(pair))
+        merged: List[List[float]] = []
+        for contact in contacts:
+            if merged and contact.start <= merged[-1][1]:
+                merged[-1][1] = max(merged[-1][1], contact.end)
+            else:
+                merged.append([contact.start, contact.end])
+        for start, end in merged:
+            if end - start >= min_duration:
+                repaired.append(make_contact(a, b, start, end))
+    return ContactTrace(
+        name=trace.name, nodes=trace.nodes, contacts=tuple(repaired)
+    )

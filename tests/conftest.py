@@ -1,0 +1,103 @@
+"""Shared fixtures: small deterministic traces, providers, configs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto import Authority, SimulatedCryptoProvider
+from repro.sim import SimulationConfig
+from repro.traces import ContactTrace, make_contact
+from repro.traces.synthetic import CommunityModelConfig, generate
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG for tests."""
+    return random.Random(42)
+
+
+@pytest.fixture
+def provider(rng):
+    """Fast simulated crypto provider."""
+    return SimulatedCryptoProvider(rng)
+
+
+@pytest.fixture
+def authority(provider):
+    """A trusted authority over the simulated provider."""
+    return Authority(provider)
+
+
+@pytest.fixture
+def pair_trace():
+    """Two nodes meeting three times over an hour."""
+    return ContactTrace(
+        name="pair",
+        nodes=(0, 1),
+        contacts=(
+            make_contact(0, 1, 100.0, 200.0),
+            make_contact(0, 1, 1000.0, 1100.0),
+            make_contact(0, 1, 3000.0, 3100.0),
+        ),
+    )
+
+
+@pytest.fixture
+def line_trace():
+    """A 4-node line: 0-1, then 1-2, then 2-3 (message can hop along)."""
+    return ContactTrace(
+        name="line",
+        nodes=(0, 1, 2, 3),
+        contacts=(
+            make_contact(0, 1, 100.0, 200.0),
+            make_contact(1, 2, 400.0, 500.0),
+            make_contact(2, 3, 800.0, 900.0),
+            # a return path so tests can exercise re-encounters
+            make_contact(0, 1, 1500.0, 1600.0),
+            make_contact(1, 2, 1900.0, 2000.0),
+        ),
+    )
+
+
+@pytest.fixture
+def star_trace():
+    """Node 0 meets 1..4 in sequence, twice each."""
+    contacts = []
+    t = 100.0
+    for round_ in range(2):
+        for peer in (1, 2, 3, 4):
+            contacts.append(make_contact(0, peer, t, t + 50.0))
+            t += 200.0
+    return ContactTrace(name="star", nodes=(0, 1, 2, 3, 4), contacts=tuple(contacts))
+
+
+@pytest.fixture
+def mini_synthetic():
+    """A small but busy synthetic trace (10 nodes, 2 communities, 2 h)."""
+    config = CommunityModelConfig(
+        name="mini",
+        community_sizes=(5, 5),
+        duration=2 * 3600.0,
+        base_rate=1.0 / 600.0,
+        inter_factor=0.08,
+        traveler_fraction=0.2,
+        sociability_sigma=0.2,
+        mean_contact_duration=60.0,
+        min_contact_duration=10.0,
+    )
+    return generate(config, seed=7)
+
+
+@pytest.fixture
+def quick_config():
+    """A short, light simulation configuration for protocol tests."""
+    return SimulationConfig(
+        run_length=2 * 3600.0,
+        silent_tail=1800.0,
+        mean_interarrival=60.0,
+        ttl=1200.0,
+        seed=5,
+        heavy_hmac_iterations=4,
+    )

@@ -1,0 +1,160 @@
+"""Tests for adversary strategies and the population factory."""
+
+import pytest
+
+from repro.adversaries import (
+    HONEST,
+    Cheater,
+    Dropper,
+    Liar,
+    OutsiderConditioned,
+    Strategy,
+    make_strategy,
+    strategy_population,
+)
+from repro.sim.messages import Message
+
+
+def msg():
+    return Message(msg_id=0, source=0, destination=9, created_at=0.0, ttl=60.0)
+
+
+class FakeCommunity:
+    """Nodes 0-4 are one community, 5-9 another."""
+
+    def same_community(self, a, b):
+        return (a < 5) == (b < 5)
+
+
+class TestBaseStrategies:
+    def test_honest_defaults(self):
+        s = Strategy()
+        assert s.keep_relayed_copy(1, msg(), 2, 0.0)
+        assert s.declared_quality(1, 9, 3.0, 2, 0.0) == 3.0
+        assert s.forwarded_message_quality(1, msg(), 3.0, 2, 0.0) == 3.0
+        assert not s.deviates
+
+    def test_dropper(self):
+        d = Dropper()
+        assert not d.keep_relayed_copy(1, msg(), 2, 0.0)
+        assert d.declared_quality(1, 9, 3.0, 2, 0.0) == 3.0
+        assert d.deviates
+
+    def test_liar(self):
+        l = Liar()
+        assert l.declared_quality(1, 9, 3.0, 2, 0.0) == 0.0
+        assert l.keep_relayed_copy(1, msg(), 2, 0.0)
+
+    def test_cheater(self):
+        c = Cheater()
+        assert c.forwarded_message_quality(1, msg(), 3.0, 2, 0.0) == 0.0
+        assert c.declared_quality(1, 9, 3.0, 2, 0.0) == 3.0
+
+
+class TestOutsiderConditioning:
+    def test_deviates_only_against_outsiders(self):
+        s = OutsiderConditioned(Dropper(), FakeCommunity())
+        # giver 2 is an insider of node 1 -> behave
+        assert s.keep_relayed_copy(1, msg(), 2, 0.0)
+        # giver 7 is an outsider -> drop
+        assert not s.keep_relayed_copy(1, msg(), 7, 0.0)
+
+    def test_liar_with_outsiders(self):
+        s = OutsiderConditioned(Liar(), FakeCommunity())
+        assert s.declared_quality(1, 9, 3.0, 2, 0.0) == 3.0
+        assert s.declared_quality(1, 9, 3.0, 7, 0.0) == 0.0
+
+    def test_cheater_with_outsiders(self):
+        s = OutsiderConditioned(Cheater(), FakeCommunity())
+        assert s.forwarded_message_quality(1, msg(), 3.0, 3, 0.0) == 3.0
+        assert s.forwarded_message_quality(1, msg(), 3.0, 8, 0.0) == 0.0
+
+    def test_wrapping_honest_rejected(self):
+        with pytest.raises(ValueError):
+            OutsiderConditioned(Strategy(), FakeCommunity())
+
+    def test_name(self):
+        s = OutsiderConditioned(Dropper(), FakeCommunity())
+        assert s.name == "dropper_with_outsiders"
+
+    def test_none_giver_treated_as_insider(self):
+        s = OutsiderConditioned(Dropper(), FakeCommunity())
+        assert s.keep_relayed_copy(1, msg(), None, 0.0)
+
+
+class TestFactory:
+    def test_make_plain(self):
+        assert isinstance(make_strategy("dropper"), Dropper)
+        assert isinstance(make_strategy("liar"), Liar)
+        assert isinstance(make_strategy("cheater"), Cheater)
+
+    def test_make_with_outsiders(self):
+        s = make_strategy("liar_with_outsiders", community=FakeCommunity())
+        assert isinstance(s, OutsiderConditioned)
+
+    def test_with_outsiders_requires_community(self):
+        with pytest.raises(ValueError):
+            make_strategy("dropper_with_outsiders")
+
+    def test_unknown_kind(self):
+        with pytest.raises(KeyError):
+            make_strategy("saboteur")
+
+
+class TestPopulation:
+    def test_count_and_honesty(self):
+        strategies, bad = strategy_population(range(20), "dropper", 5, seed=1)
+        assert len(bad) == 5
+        assert sum(1 for s in strategies.values() if s.deviates) == 5
+        for node in range(20):
+            if node not in bad:
+                assert strategies[node] is HONEST
+
+    def test_deterministic(self):
+        _, bad1 = strategy_population(range(20), "dropper", 5, seed=1)
+        _, bad2 = strategy_population(range(20), "dropper", 5, seed=1)
+        assert bad1 == bad2
+
+    def test_seed_varies_placement(self):
+        _, bad1 = strategy_population(range(20), "dropper", 5, seed=1)
+        _, bad2 = strategy_population(range(20), "dropper", 5, seed=2)
+        assert bad1 != bad2
+
+    def test_zero_count(self):
+        strategies, bad = strategy_population(range(5), "liar", 0, seed=1)
+        assert bad == ()
+        assert all(s is HONEST for s in strategies.values())
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            strategy_population(range(5), "liar", 6, seed=1)
+
+    def test_outsider_population(self):
+        strategies, bad = strategy_population(
+            range(10), "cheater_with_outsiders", 3, seed=1,
+            community=FakeCommunity(),
+        )
+        assert all(
+            isinstance(strategies[n], OutsiderConditioned) for n in bad
+        )
+
+
+class TestDodger:
+    def test_refuses_pending_givers(self):
+        from repro.adversaries import Dodger
+
+        d = Dodger()
+        assert not d.accept_session(1, 5, 0.0, frozenset({5}))
+        assert d.accept_session(1, 6, 0.0, frozenset({5}))
+        assert d.accept_session(1, 5, 0.0, frozenset())
+
+    def test_also_drops(self):
+        from repro.adversaries import Dodger
+
+        d = Dodger()
+        assert not d.keep_relayed_copy(1, msg(), 2, 0.0)
+
+    def test_in_factory(self):
+        from repro.adversaries import Dodger
+
+        assert isinstance(make_strategy("dodger"), Dodger)

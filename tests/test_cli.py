@@ -1,0 +1,191 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.trace == "infocom05"
+        assert args.protocol == "g2g_epidemic"
+        assert args.count == 0
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "fig8"])
+        assert args.name == "fig8"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig9"])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_bad_protocol(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--protocol", "prophet"])
+
+
+class TestCommands:
+    def test_trace_command(self, capsys, tmp_path):
+        out = tmp_path / "t.contacts"
+        code = main(
+            ["trace", "--trace", "infocom05", "--out", str(out)]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "41 nodes" in captured
+        assert out.exists()
+
+    def test_communities_command(self, capsys):
+        code = main(["communities", "--trace", "infocom05", "--k", "3"])
+        assert code == 0
+        assert "communities" in capsys.readouterr().out
+
+    def test_simulate_command(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--trace", "infocom05",
+                "--protocol", "epidemic",
+                "--seed", "1",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "Epidemic on infocom05" in captured
+        assert "replicas/message" in captured
+
+    def test_simulate_with_adversaries(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--trace", "infocom05",
+                "--protocol", "g2g_epidemic",
+                "--adversary", "dropper",
+                "--count", "5",
+                "--seed", "1",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "planted 5 x dropper" in captured
+        assert "detection:" in captured
+
+
+class TestSweepCommand:
+    def test_sweep_runs_and_resumes(self, capsys, tmp_path):
+        args = [
+            "sweep",
+            "--trace", "infocom05",
+            "--protocol", "epidemic",
+            "--counts", "0",
+            "--seeds", "1",
+            "--archive", str(tmp_path),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "[ran   ]" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "[cached]" in second
+
+    def test_sweep_csv_export(self, capsys, tmp_path):
+        out = tmp_path / "rows.csv"
+        code = main(
+            [
+                "sweep",
+                "--trace", "infocom05",
+                "--protocol", "epidemic",
+                "--counts", "0",
+                "--seeds", "1",
+                "--archive", str(tmp_path),
+                "--csv", str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+
+
+class TestExperimentCommand:
+    def test_experiment_fig8_stubbed(self, capsys, monkeypatch):
+        from repro.experiments import fig8 as fig8_module
+        from repro.experiments.fig8 import Fig8Panel, ProtocolPoint
+
+        panel = Fig8Panel(trace="infocom05")
+        for name, label in (
+            ("epidemic", "Epidemic"),
+            ("g2g_epidemic", "G2G Epidemic"),
+            ("delegation_last_contact", "Deleg.Dest Last Contact"),
+            ("g2g_delegation_last_contact", "G2G Dest Last Contact"),
+            ("delegation_frequency", "Deleg.Dest Frequency"),
+            ("g2g_delegation_frequency", "G2G Dest Frequency"),
+        ):
+            panel.points.append(
+                ProtocolPoint(
+                    protocol=name, label=label, success_percent=50.0,
+                    mean_delay_s=600.0, cost=10.0,
+                )
+            )
+        monkeypatch.setattr(
+            fig8_module, "run", lambda quick: {"infocom05": panel}
+        )
+        assert main(["experiment", "fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "G2G Epidemic" in out
+
+
+class TestExperimentCommandAllFigures:
+    """Each experiment subcommand prints its stubbed rendering."""
+
+    @pytest.fixture
+    def stub_all(self, monkeypatch):
+        from repro.experiments import fig3, fig4, fig5, fig7, table1
+        from repro.experiments.fig4 import DetectionFigure
+        from repro.experiments.runner import FigureData, Series
+
+        figure = FigureData(
+            figure_id="stub", title="stub", x_label="x", y_label="y",
+            series=[Series(label="s", xs=[0.0], ys=[1.0])],
+        )
+        monkeypatch.setattr(
+            fig3, "run", lambda quick: {"infocom05": figure}
+        )
+        monkeypatch.setattr(
+            fig5, "run", lambda quick: {("droppers", "infocom05"): figure}
+        )
+        monkeypatch.setattr(
+            fig7, "run", lambda quick: {"infocom05": figure}
+        )
+        monkeypatch.setattr(
+            fig4,
+            "run",
+            lambda quick: {
+                "infocom05": DetectionFigure(
+                    figure=figure, detection_rates={"Droppers": 0.9}
+                )
+            },
+        )
+
+        class StubTable:
+            def render(self):
+                return "stub table"
+
+        monkeypatch.setattr(table1, "run", lambda quick: StubTable())
+        return figure
+
+    @pytest.mark.parametrize("name", ["fig3", "fig5", "fig7"])
+    def test_figure_commands(self, stub_all, capsys, name):
+        assert main(["experiment", name]) == 0
+        assert "stub" in capsys.readouterr().out
+
+    def test_fig4_prints_rates(self, stub_all, capsys):
+        assert main(["experiment", "fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "detection probability" in out
+        assert "90.0%" in out
+
+    def test_table1(self, stub_all, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "stub table" in capsys.readouterr().out

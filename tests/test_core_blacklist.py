@@ -1,0 +1,77 @@
+"""Tests for PoM propagation services."""
+
+from repro.core.blacklist import (
+    GossipBlacklist,
+    InstantBlacklist,
+    ProofOfMisbehavior,
+)
+
+
+def pom(offender=5, detector=1, t=100.0):
+    return ProofOfMisbehavior(
+        offender=offender, detector=detector, msg_id=0,
+        deviation="dropper", issued_at=t,
+    )
+
+
+class TestInstant:
+    def test_everyone_knows_immediately(self):
+        bl = InstantBlacklist()
+        bl.publish(pom())
+        assert bl.knows(99, 5)
+        assert bl.knows(1, 5)
+
+    def test_unknown_offender(self):
+        bl = InstantBlacklist()
+        assert not bl.knows(1, 5)
+
+    def test_convicted_set(self):
+        bl = InstantBlacklist()
+        bl.publish(pom(offender=5))
+        bl.publish(pom(offender=7))
+        assert bl.convicted() == {5, 7}
+
+    def test_on_contact_noop(self):
+        bl = InstantBlacklist()
+        bl.publish(pom())
+        bl.on_contact(1, 2, 0.0)
+        assert bl.knows(2, 5)
+
+
+class TestGossip:
+    def test_only_detector_knows_initially(self):
+        bl = GossipBlacklist()
+        bl.publish(pom(detector=1))
+        assert bl.knows(1, 5)
+        assert not bl.knows(2, 5)
+
+    def test_contact_spreads_knowledge(self):
+        bl = GossipBlacklist()
+        bl.publish(pom(detector=1))
+        bl.on_contact(1, 2, 10.0)
+        assert bl.knows(2, 5)
+
+    def test_transitive_spread(self):
+        bl = GossipBlacklist()
+        bl.publish(pom(detector=1))
+        bl.on_contact(1, 2, 10.0)
+        bl.on_contact(2, 3, 20.0)
+        assert bl.knows(3, 5)
+
+    def test_no_spontaneous_knowledge(self):
+        bl = GossipBlacklist()
+        bl.publish(pom(detector=1))
+        bl.on_contact(3, 4, 10.0)
+        assert not bl.knows(3, 5)
+
+    def test_awareness_counts(self):
+        bl = GossipBlacklist()
+        bl.publish(pom(detector=1))
+        assert bl.awareness(5) == 1
+        bl.on_contact(1, 2, 10.0)
+        assert bl.awareness(5) == 2
+
+    def test_convicted_independent_of_spread(self):
+        bl = GossipBlacklist()
+        bl.publish(pom(offender=5, detector=1))
+        assert bl.convicted() == {5}

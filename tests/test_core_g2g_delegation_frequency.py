@@ -1,0 +1,112 @@
+"""Scenario tests for G2G Delegation with the *frequency* metric.
+
+The paper reports Destination Frequency and Destination Last Contact
+behave alike for detection; these tests pin the frequency-specific
+mechanics (integer encounter counts at frame boundaries).
+"""
+
+import pytest
+
+from repro.adversaries import Cheater, Liar
+from repro.core import G2GDelegationForwarding
+from repro.sim import Simulation, SimulationConfig
+from repro.sim.messages import Message
+from repro.traces import ContactTrace
+
+S, D = 0, 5
+
+
+def config(**overrides):
+    base = dict(
+        run_length=10_000.0, silent_tail=1000.0, mean_interarrival=1e6,
+        ttl=400.0, delta2_factor=2.0, quality_timeframe=100.0,
+        heavy_hmac_iterations=2, seed=3,
+    )
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+def harness(strategies=None):
+    trace = ContactTrace(name="m", nodes=tuple(range(8)), contacts=())
+    protocol = G2GDelegationForwarding("frequency")
+    sim = Simulation(trace, protocol, config(), strategies=strategies)
+    ctx = sim._build_context()
+    protocol.bind(ctx)
+    return protocol, ctx
+
+
+def inject(protocol, ctx, created, msg_id=0):
+    message = Message(
+        msg_id=msg_id, source=S, destination=D, created_at=created,
+        ttl=ctx.config.ttl,
+    )
+    ctx.results.record_generated(message)
+    protocol.on_message_generated(message, created)
+    return message
+
+
+class TestFrequencyQuality:
+    def test_initial_quality_counts_encounters(self):
+        protocol, ctx = harness()
+        protocol.on_contact_start(S, D, 10.0)
+        protocol.on_contact_start(S, D, 50.0)
+        inject(protocol, ctx, created=120.0)  # frame 0 completed: count 2
+        assert ctx.node(S).buffer[0].quality == 2.0
+
+    def test_relay_needs_strictly_more_encounters(self):
+        protocol, ctx = harness()
+        protocol.on_contact_start(S, D, 10.0)
+        protocol.on_contact_start(1, D, 20.0)
+        inject(protocol, ctx, created=120.0)  # fm = 1
+        protocol.on_contact_start(S, 1, 150.0)  # declared 1, not > 1
+        assert not ctx.node(1).has_copy(0)
+
+    def test_relay_to_more_frequent_contact(self):
+        protocol, ctx = harness()
+        protocol.on_contact_start(S, D, 10.0)
+        protocol.on_contact_start(1, D, 20.0)
+        protocol.on_contact_start(1, D, 60.0)
+        inject(protocol, ctx, created=120.0)  # fm = 1; node 1 has 2
+        protocol.on_contact_start(S, 1, 150.0)
+        assert ctx.node(1).has_copy(0)
+        assert ctx.node(1).buffer[0].quality == 2.0
+
+
+class TestFrequencyDetection:
+    def test_liar_convicted_under_frequency(self):
+        protocol, ctx = harness(strategies={1: Liar()})
+        protocol.on_contact_start(S, D, 10.0)   # f_SD = 1
+        protocol.on_contact_start(1, D, 20.0)
+        protocol.on_contact_start(1, D, 60.0)   # liar truly has 2
+        protocol.on_contact_start(2, D, 30.0)
+        protocol.on_contact_start(2, D, 70.0)   # good relay has 2
+        inject(protocol, ctx, created=120.0)
+        protocol.on_contact_start(S, 1, 150.0)  # liar declares 0 < 1: failed
+        protocol.on_contact_start(S, 2, 160.0)  # evidence embedded
+        protocol.on_contact_start(2, D, 250.0)  # delivery -> D recomputes 2
+        assert len(ctx.results.detections) == 1
+        assert ctx.results.detections[0].deviation == "liar"
+        assert ctx.results.detections[0].offender == 1
+
+    def test_cheater_convicted_under_frequency(self):
+        protocol, ctx = harness(strategies={1: Cheater()})
+        protocol.on_contact_start(1, D, 30.0)
+        protocol.on_contact_start(2, D, 40.0)
+        protocol.on_contact_start(3, D, 50.0)
+        inject(protocol, ctx, created=120.0)
+        protocol.on_contact_start(S, 1, 150.0)  # relay to cheater (f_AD=1)
+        protocol.on_contact_start(1, 2, 200.0)  # label forged to 0
+        protocol.on_contact_start(1, 3, 250.0)
+        protocol.on_contact_start(S, 1, 600.0)  # test: chain broken
+        assert [d.deviation for d in ctx.results.detections] == ["cheater"]
+
+    def test_honest_run_clean(self):
+        protocol, ctx = harness()
+        protocol.on_contact_start(1, D, 30.0)
+        protocol.on_contact_start(2, D, 40.0)
+        protocol.on_contact_start(2, D, 80.0)
+        inject(protocol, ctx, created=120.0)
+        protocol.on_contact_start(S, 1, 150.0)
+        protocol.on_contact_start(1, 2, 200.0)  # 2 has count 2 > 1
+        protocol.on_contact_start(S, 1, 600.0)
+        assert ctx.results.detections == []

@@ -1,0 +1,174 @@
+"""Tests for signing/verifying the G2G artifacts."""
+
+import random
+
+import pytest
+
+from repro.core.proofs import (
+    make_proof_of_relay,
+    make_quality_declaration,
+    make_storage_proof,
+    open_message,
+    random_seed,
+    seal_message,
+    verify_proof_of_relay,
+    verify_quality_declaration,
+    verify_storage_proof,
+)
+from repro.crypto.hashing import HeavyHmac
+
+
+@pytest.fixture
+def trio(authority):
+    return authority.enroll(1), authority.enroll(2), authority.enroll(3)
+
+
+class TestSealedMessages:
+    def test_destination_opens(self, trio):
+        src, dst, _ = trio
+        sealed = seal_message(src, dst.certificate, 7, b"hello")
+        source_id, msg_id, body = open_message(dst, sealed)
+        assert (source_id, msg_id, body) == (1, 7, b"hello")
+
+    def test_relay_cannot_open(self, trio):
+        src, dst, relay = trio
+        sealed = seal_message(src, dst.certificate, 7, b"hello")
+        with pytest.raises(Exception):
+            open_message(relay, sealed)
+
+    def test_destination_visible_sender_hidden(self, trio):
+        src, dst, _ = trio
+        sealed = seal_message(src, dst.certificate, 7, b"hello")
+        assert sealed.destination == 2
+        # The source id appears nowhere in the public wire form except
+        # inside the ciphertext.
+        assert b"payload" not in sealed.ciphertext  # encrypted
+        assert sealed.msg_id == 7
+
+    def test_source_signature_verifies(self, trio):
+        src, dst, relay = trio
+        sealed = seal_message(src, dst.certificate, 7, b"hello")
+        unsigned = sealed.wire_bytes()
+        # The signature covers the unsigned form.
+        from repro.core.wire import SealedMessage
+
+        reference = SealedMessage(
+            msg_id=sealed.msg_id,
+            destination=sealed.destination,
+            ciphertext=sealed.ciphertext,
+            source_signature=b"",
+        )
+        assert relay.verify_peer(
+            src.certificate,
+            reference.wire_bytes(),
+            sealed.source_signature,
+        )
+
+
+class TestProofOfRelay:
+    def test_make_and_verify(self, trio):
+        giver, taker, _ = trio
+        por = make_proof_of_relay(taker, b"h" * 32, giver.node_id, 10.0)
+        assert verify_proof_of_relay(giver, taker.certificate, por)
+
+    def test_wrong_certificate_rejected(self, trio):
+        giver, taker, third = trio
+        por = make_proof_of_relay(taker, b"h" * 32, giver.node_id, 10.0)
+        assert not verify_proof_of_relay(giver, third.certificate, por)
+
+    def test_tampered_fields_rejected(self, trio):
+        import dataclasses
+
+        giver, taker, _ = trio
+        por = make_proof_of_relay(
+            taker, b"h" * 32, giver.node_id, 10.0,
+            message_quality=1.0, taker_quality=2.0,
+        )
+        forged = dataclasses.replace(por, taker_quality=99.0)
+        assert not verify_proof_of_relay(giver, taker.certificate, forged)
+
+    def test_quality_fields_carried(self, trio):
+        giver, taker, _ = trio
+        por = make_proof_of_relay(
+            taker, b"h" * 32, giver.node_id, 10.0,
+            quality_subject=9, message_quality=1.5, taker_quality=3.0,
+        )
+        assert por.quality_subject == 9
+        assert por.message_quality == 1.5
+        assert por.taker_quality == 3.0
+
+
+class TestQualityDeclaration:
+    def test_make_and_verify(self, trio):
+        _, declarant, verifier = trio
+        decl = make_quality_declaration(declarant, 9, 4.0, 3, 100.0)
+        assert verify_quality_declaration(
+            verifier, declarant.certificate, decl
+        )
+
+    def test_lie_is_self_incriminating(self, trio):
+        """A signed false value still verifies — that's the PoM."""
+        _, declarant, verifier = trio
+        lie = make_quality_declaration(declarant, 9, 0.0, 3, 100.0)
+        assert verify_quality_declaration(
+            verifier, declarant.certificate, lie
+        )
+        assert lie.value == 0.0
+
+    def test_tampered_value_rejected(self, trio):
+        import dataclasses
+
+        _, declarant, verifier = trio
+        decl = make_quality_declaration(declarant, 9, 4.0, 3, 100.0)
+        forged = dataclasses.replace(decl, value=8.0)
+        assert not verify_quality_declaration(
+            verifier, declarant.certificate, forged
+        )
+
+
+class TestStorageProof:
+    def test_roundtrip(self, trio):
+        challenger, prover, _ = trio
+        heavy = HeavyHmac(iterations=3)
+        message_bytes = b"the message body" * 10
+        seed = random_seed(random.Random(1))
+        proof = make_storage_proof(
+            prover, b"h" * 32, message_bytes, seed, heavy
+        )
+        assert verify_storage_proof(
+            challenger, prover.certificate, proof, message_bytes, heavy
+        )
+
+    def test_wrong_bytes_fail(self, trio):
+        challenger, prover, _ = trio
+        heavy = HeavyHmac(iterations=3)
+        seed = random_seed(random.Random(1))
+        proof = make_storage_proof(prover, b"h" * 32, b"real", seed, heavy)
+        assert not verify_storage_proof(
+            challenger, prover.certificate, proof, b"fake", heavy
+        )
+
+    def test_seed_binds_challenge(self, trio):
+        import dataclasses
+
+        challenger, prover, _ = trio
+        heavy = HeavyHmac(iterations=3)
+        proof = make_storage_proof(prover, b"h" * 32, b"m", b"seed-a", heavy)
+        forged = dataclasses.replace(proof, seed=b"seed-b")
+        assert not verify_storage_proof(
+            challenger, prover.certificate, forged, b"m", heavy
+        )
+
+    def test_work_charged(self, trio):
+        _, prover, _ = trio
+        heavy = HeavyHmac(iterations=5)
+        make_storage_proof(prover, b"h", b"m", b"s", heavy)
+        assert heavy.work_performed == 5
+
+
+class TestRandomSeed:
+    def test_size_and_determinism(self):
+        a = random_seed(random.Random(4))
+        b = random_seed(random.Random(4))
+        assert a == b
+        assert len(a) == 16

@@ -1,0 +1,87 @@
+"""Tests for Diffie-Hellman key agreement."""
+
+import random
+
+import pytest
+
+from repro.crypto.dh import DhError, DhGroup, default_group, generate_group
+from repro.crypto.numbers import is_probable_prime
+
+
+class TestDefaultGroup:
+    def test_prime_modulus(self):
+        group = default_group()
+        assert is_probable_prime(group.p)
+
+    def test_safe_prime(self):
+        group = default_group()
+        assert is_probable_prime((group.p - 1) // 2)
+
+    def test_bit_length(self):
+        assert default_group().p.bit_length() == 512
+
+
+class TestExchange:
+    def test_shared_secret_agrees(self):
+        group = default_group()
+        rng = random.Random(1)
+        a = group.private_exponent(rng)
+        b = group.private_exponent(rng)
+        key_a = group.shared_secret(a, group.public_value(b))
+        key_b = group.shared_secret(b, group.public_value(a))
+        assert key_a == key_b
+
+    def test_distinct_exchanges_distinct_keys(self):
+        group = default_group()
+        rng = random.Random(1)
+        keys = set()
+        for _ in range(5):
+            a = group.private_exponent(rng)
+            b = group.private_exponent(rng)
+            keys.add(group.shared_secret(a, group.public_value(b)))
+        assert len(keys) == 5
+
+    def test_key_is_32_bytes(self):
+        group = default_group()
+        rng = random.Random(2)
+        a = group.private_exponent(rng)
+        b = group.private_exponent(rng)
+        assert len(group.shared_secret(a, group.public_value(b))) == 32
+
+    @pytest.mark.parametrize("bad", [0, 1])
+    def test_degenerate_public_values_rejected(self, bad):
+        group = default_group()
+        with pytest.raises(DhError):
+            group.shared_secret(5, bad)
+
+    def test_p_minus_one_rejected(self):
+        group = default_group()
+        with pytest.raises(DhError):
+            group.shared_secret(5, group.p - 1)
+
+    def test_out_of_range_rejected(self):
+        group = default_group()
+        with pytest.raises(DhError):
+            group.shared_secret(5, group.p + 3)
+
+
+class TestGroupValidation:
+    def test_invalid_generator(self):
+        with pytest.raises(DhError):
+            DhGroup(p=23, g=1)
+
+    def test_tiny_modulus(self):
+        with pytest.raises(DhError):
+            DhGroup(p=3, g=2)
+
+    def test_generate_small_group(self):
+        group = generate_group(16, random.Random(3))
+        assert is_probable_prime(group.p)
+        assert is_probable_prime((group.p - 1) // 2)
+        # Exchange works in the fresh group too.
+        rng = random.Random(4)
+        a = group.private_exponent(rng)
+        b = group.private_exponent(rng)
+        assert group.shared_secret(
+            a, group.public_value(b)
+        ) == group.shared_secret(b, group.public_value(a))

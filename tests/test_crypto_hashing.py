@@ -1,0 +1,109 @@
+"""Tests for H(), HMAC, and the heavy HMAC."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.hashing import (
+    DEFAULT_HEAVY_ITERATIONS,
+    DIGEST_SIZE,
+    HeavyHmac,
+    constant_time_equal,
+    digest,
+    hexdigest,
+    hmac_digest,
+)
+
+
+class TestDigest:
+    def test_size(self):
+        assert len(digest(b"abc")) == DIGEST_SIZE
+
+    def test_deterministic(self):
+        assert digest(b"abc") == digest(b"abc")
+
+    def test_distinct_inputs(self):
+        assert digest(b"abc") != digest(b"abd")
+
+    def test_hexdigest_matches(self):
+        assert bytes.fromhex(hexdigest(b"abc")) == digest(b"abc")
+
+    def test_known_vector(self):
+        # SHA-256("abc") — FIPS 180-2 test vector.
+        assert hexdigest(b"abc") == (
+            "ba7816bf8f01cfea414140de5dae2223"
+            "b00361a396177a9cb410ff61f20015ad"
+        )
+
+
+class TestHmac:
+    def test_key_matters(self):
+        assert hmac_digest(b"k1", b"m") != hmac_digest(b"k2", b"m")
+
+    def test_message_matters(self):
+        assert hmac_digest(b"k", b"m1") != hmac_digest(b"k", b"m2")
+
+    def test_known_vector(self):
+        # RFC 4231 test case 2.
+        assert hmac_digest(b"Jefe", b"what do ya want for nothing?").hex() == (
+            "5bdcc146bf60754e6a042426089575c7"
+            "5a003f089d2739839dec58b964ec3843"
+        )
+
+
+class TestConstantTimeEqual:
+    def test_equal(self):
+        assert constant_time_equal(b"abc", b"abc")
+
+    def test_unequal(self):
+        assert not constant_time_equal(b"abc", b"abd")
+
+    def test_length_mismatch(self):
+        assert not constant_time_equal(b"abc", b"abcd")
+
+
+class TestHeavyHmac:
+    def test_compute_verify(self):
+        h = HeavyHmac(iterations=10)
+        mac = h.compute(b"message", b"seed")
+        assert h.verify(b"message", b"seed", mac)
+
+    def test_wrong_seed_fails(self):
+        h = HeavyHmac(iterations=10)
+        mac = h.compute(b"message", b"seed")
+        assert not h.verify(b"message", b"other-seed", mac)
+
+    def test_wrong_message_fails(self):
+        h = HeavyHmac(iterations=10)
+        mac = h.compute(b"message", b"seed")
+        assert not h.verify(b"other", b"seed", mac)
+
+    def test_iterations_change_output(self):
+        a = HeavyHmac(iterations=5).compute(b"m", b"s")
+        b = HeavyHmac(iterations=6).compute(b"m", b"s")
+        assert a != b
+
+    def test_work_accounting(self):
+        h = HeavyHmac(iterations=7)
+        h.compute(b"m", b"s")
+        h.compute(b"m", b"t")
+        assert h.work_performed == 14
+
+    def test_verify_counts_work(self):
+        h = HeavyHmac(iterations=3)
+        mac = h.compute(b"m", b"s")
+        h.verify(b"m", b"s", mac)
+        assert h.work_performed == 6
+
+    def test_default_iterations(self):
+        assert HeavyHmac().iterations == DEFAULT_HEAVY_ITERATIONS
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            HeavyHmac(iterations=0)
+
+    @given(st.binary(max_size=64), st.binary(min_size=1, max_size=32))
+    def test_deterministic_property(self, message, seed):
+        h1 = HeavyHmac(iterations=3)
+        h2 = HeavyHmac(iterations=3)
+        assert h1.compute(message, seed) == h2.compute(message, seed)

@@ -1,0 +1,104 @@
+"""Tests for identities, certificates, and the authority."""
+
+import random
+
+import pytest
+
+from repro.crypto import (
+    Authority,
+    RealCryptoProvider,
+    SimulatedCryptoProvider,
+)
+
+
+@pytest.fixture
+def identities(authority):
+    return authority.enroll(1), authority.enroll(2)
+
+
+class TestAuthority:
+    def test_enroll_issues_valid_certificate(self, authority):
+        identity = authority.enroll(7)
+        assert authority.verify_certificate(identity.certificate)
+
+    def test_duplicate_enrollment_rejected(self, authority):
+        authority.enroll(7)
+        with pytest.raises(ValueError):
+            authority.enroll(7)
+
+    def test_certificate_binds_node_id(self, authority):
+        identity = authority.enroll(7)
+        assert identity.certificate.node_id == 7
+
+    def test_foreign_certificate_rejected(self, provider, rng):
+        authority_a = Authority(provider)
+        authority_b = Authority(provider)
+        identity = authority_b.enroll(1)
+        assert not authority_a.verify_certificate(identity.certificate)
+
+
+class TestIdentity:
+    def test_sign_verify_between_peers(self, identities):
+        a, b = identities
+        sig = a.sign(b"payload")
+        assert b.verify_peer(a.certificate, b"payload", sig)
+
+    def test_wrong_payload_rejected(self, identities):
+        a, b = identities
+        sig = a.sign(b"payload")
+        assert not b.verify_peer(a.certificate, b"other", sig)
+
+    def test_signature_not_transferable(self, identities):
+        a, b = identities
+        sig = a.sign(b"payload")
+        # b cannot claim a's signature as its own.
+        assert not a.verify_peer(b.certificate, b"payload", sig)
+
+    def test_encrypt_for_peer_roundtrip(self, identities):
+        a, b = identities
+        blob = a.encrypt_for(b.certificate, b"for bob only")
+        assert b.decrypt(blob) == b"for bob only"
+
+    def test_fingerprint_matches_certificate(self, identities):
+        a, _ = identities
+        assert a.key_fingerprint() == a.certificate.fingerprint
+
+    def test_forged_certificate_invalidates_signature(
+        self, authority, provider
+    ):
+        a = authority.enroll(1)
+        b = authority.enroll(2)
+        # Attacker staples a's public key to a cert with b's id but
+        # without the authority's signature over that binding.
+        from repro.crypto.keys import Certificate
+
+        forged = Certificate(
+            node_id=2,
+            public_key=a.certificate.public_key,
+            fingerprint=a.certificate.fingerprint,
+            signature=a.certificate.signature,  # signed for node 1!
+        )
+        sig = a.sign(b"hello")
+        assert not b.verify_peer(forged, b"hello", sig)
+
+
+class TestRealProviderParity:
+    """The RSA-backed provider behaves identically to the fast one."""
+
+    @pytest.fixture
+    def real_authority(self):
+        provider = RealCryptoProvider(key_bits=384, rng=random.Random(5))
+        return Authority(provider)
+
+    def test_sign_verify(self, real_authority):
+        a = real_authority.enroll(1)
+        b = real_authority.enroll(2)
+        sig = a.sign(b"x")
+        assert b.verify_peer(a.certificate, b"x", sig)
+        assert not b.verify_peer(a.certificate, b"y", sig)
+
+    def test_encrypt_roundtrip(self, real_authority):
+        a = real_authority.enroll(1)
+        b = real_authority.enroll(2)
+        blob = a.encrypt_for(b.certificate, b"payload" * 40)
+        assert b.decrypt(blob) == b"payload" * 40

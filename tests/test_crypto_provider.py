@@ -1,0 +1,88 @@
+"""Tests for the pluggable crypto providers."""
+
+import random
+
+import pytest
+
+from repro.crypto.provider import (
+    RealCryptoProvider,
+    SimulatedCryptoProvider,
+)
+from repro.crypto.schnorr import SchnorrCryptoProvider
+
+
+@pytest.fixture(params=["simulated", "real", "schnorr"])
+def any_provider(request):
+    if request.param == "simulated":
+        return SimulatedCryptoProvider(random.Random(1))
+    if request.param == "schnorr":
+        return SchnorrCryptoProvider(random.Random(1))
+    return RealCryptoProvider(key_bits=384, rng=random.Random(1))
+
+
+class TestProviderContract:
+    """Both providers satisfy the same behavioral contract."""
+
+    def test_sign_verify(self, any_provider):
+        private, public = any_provider.generate_keypair()
+        sig = any_provider.sign(private, b"data")
+        assert any_provider.verify(public, b"data", sig)
+
+    def test_verify_rejects_wrong_payload(self, any_provider):
+        private, public = any_provider.generate_keypair()
+        sig = any_provider.sign(private, b"data")
+        assert not any_provider.verify(public, b"DATA", sig)
+
+    def test_verify_rejects_wrong_key(self, any_provider):
+        private, _ = any_provider.generate_keypair()
+        _, other_public = any_provider.generate_keypair()
+        sig = any_provider.sign(private, b"data")
+        assert not any_provider.verify(other_public, b"data", sig)
+
+    def test_verify_rejects_tampered_signature(self, any_provider):
+        private, public = any_provider.generate_keypair()
+        sig = bytearray(any_provider.sign(private, b"data"))
+        sig[0] ^= 1
+        assert not any_provider.verify(public, b"data", bytes(sig))
+
+    def test_encrypt_roundtrip(self, any_provider):
+        private, public = any_provider.generate_keypair()
+        blob = any_provider.encrypt(public, b"payload" * 100)
+        assert any_provider.decrypt(private, blob) == b"payload" * 100
+
+    def test_fingerprints_distinct(self, any_provider):
+        _, pub_a = any_provider.generate_keypair()
+        _, pub_b = any_provider.generate_keypair()
+        assert any_provider.fingerprint(pub_a) != any_provider.fingerprint(
+            pub_b
+        )
+
+    def test_session_key_length(self, any_provider):
+        key = any_provider.new_session_key(random.Random(2))
+        assert len(key) == 32
+
+    def test_session_keys_fresh(self, any_provider):
+        rng = random.Random(2)
+        assert any_provider.new_session_key(rng) != any_provider.new_session_key(rng)
+
+
+class TestSimulatedSpecifics:
+    def test_unknown_public_key_rejected(self):
+        provider = SimulatedCryptoProvider(random.Random(1))
+        other = SimulatedCryptoProvider(random.Random(1))
+        private, public = provider.generate_keypair()
+        sig = provider.sign(private, b"x")
+        # A handle from a foreign provider instance resolves to no
+        # secret in this registry... same key_id exists, but secrets
+        # differ only if RNG streams diverge; use an id beyond range.
+        from repro.crypto.provider import _SimPublicKey
+
+        assert not provider.verify(_SimPublicKey(key_id=999), b"x", sig)
+
+    def test_signature_is_not_reusable_across_keys(self):
+        provider = SimulatedCryptoProvider(random.Random(1))
+        priv_a, pub_a = provider.generate_keypair()
+        priv_b, pub_b = provider.generate_keypair()
+        sig = provider.sign(priv_a, b"x")
+        assert provider.verify(pub_a, b"x", sig)
+        assert not provider.verify(pub_b, b"x", sig)

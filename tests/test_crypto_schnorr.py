@@ -1,0 +1,131 @@
+"""Tests for Schnorr signatures and the ElGamal KEM provider."""
+
+import random
+
+import pytest
+
+from repro.crypto import Authority
+from repro.crypto.schnorr import (
+    SchnorrCryptoProvider,
+    SchnorrError,
+    SchnorrScheme,
+)
+from repro.crypto.symmetric import AuthenticationError
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    return SchnorrScheme()
+
+
+@pytest.fixture(scope="module")
+def keypair(scheme):
+    return scheme.generate_keypair(random.Random(5))
+
+
+class TestGroupStructure:
+    def test_generator_has_order_q(self, scheme):
+        assert pow(scheme.g, scheme.q, scheme.p) == 1
+        assert scheme.g != 1
+
+    def test_public_key_in_subgroup(self, scheme, keypair):
+        _, public = keypair
+        assert pow(public.y, scheme.q, scheme.p) == 1
+
+
+class TestSignatures:
+    def test_roundtrip(self, scheme, keypair):
+        private, public = keypair
+        sig = scheme.sign(private, b"message")
+        assert scheme.verify(public, b"message", sig)
+
+    def test_wrong_message(self, scheme, keypair):
+        private, public = keypair
+        sig = scheme.sign(private, b"message")
+        assert not scheme.verify(public, b"other", sig)
+
+    def test_wrong_key(self, scheme, keypair):
+        private, _ = keypair
+        _, other_public = scheme.generate_keypair(random.Random(6))
+        sig = scheme.sign(private, b"message")
+        assert not scheme.verify(other_public, b"message", sig)
+
+    def test_tampered_signature(self, scheme, keypair):
+        private, public = keypair
+        sig = bytearray(scheme.sign(private, b"message"))
+        sig[0] ^= 1
+        assert not scheme.verify(public, b"message", bytes(sig))
+
+    def test_truncated_signature(self, scheme, keypair):
+        private, public = keypair
+        sig = scheme.sign(private, b"message")
+        assert not scheme.verify(public, b"message", sig[:-1])
+
+    def test_deterministic_nonce(self, scheme, keypair):
+        private, _ = keypair
+        assert scheme.sign(private, b"m") == scheme.sign(private, b"m")
+
+    def test_signature_is_short(self, scheme, keypair):
+        """Two subgroup scalars — the size argument of Sec. III."""
+        private, _ = keypair
+        sig = scheme.sign(private, b"m")
+        width = (scheme.q.bit_length() + 7) // 8
+        assert len(sig) == 2 * width
+
+    def test_empty_message(self, scheme, keypair):
+        private, public = keypair
+        assert scheme.verify(public, b"", scheme.sign(private, b""))
+
+
+class TestKem:
+    def test_roundtrip(self, scheme, keypair):
+        private, public = keypair
+        blob = scheme.encrypt(public, b"top secret" * 20, random.Random(7))
+        assert scheme.decrypt(private, blob) == b"top secret" * 20
+
+    def test_randomized(self, scheme, keypair):
+        private, public = keypair
+        rng = random.Random(7)
+        assert scheme.encrypt(public, b"x", rng) != scheme.encrypt(
+            public, b"x", rng
+        )
+
+    def test_wrong_key_fails(self, scheme, keypair):
+        _, public = keypair
+        other_private, _ = scheme.generate_keypair(random.Random(8))
+        blob = scheme.encrypt(public, b"secret", random.Random(7))
+        with pytest.raises(AuthenticationError):
+            scheme.decrypt(other_private, blob)
+
+    def test_truncated_rejected(self, scheme, keypair):
+        private, _ = keypair
+        with pytest.raises(SchnorrError):
+            scheme.decrypt(private, b"short")
+
+
+class TestProviderIntegration:
+    def test_authority_over_schnorr(self):
+        provider = SchnorrCryptoProvider(random.Random(1))
+        authority = Authority(provider)
+        a = authority.enroll(1)
+        b = authority.enroll(2)
+        sig = a.sign(b"hello")
+        assert b.verify_peer(a.certificate, b"hello", sig)
+        assert not b.verify_peer(a.certificate, b"hellx", sig)
+        blob = a.encrypt_for(b.certificate, b"for bob")
+        assert b.decrypt(blob) == b"for bob"
+
+    def test_g2g_runs_over_schnorr(self, mini_synthetic):
+        from repro.core import G2GEpidemicForwarding
+        from repro.sim import Simulation, SimulationConfig
+
+        config = SimulationConfig(
+            run_length=1800.0, silent_tail=600.0, mean_interarrival=120.0,
+            ttl=600.0, seed=4, heavy_hmac_iterations=2,
+        )
+        protocol = G2GEpidemicForwarding(
+            provider=SchnorrCryptoProvider(random.Random(2))
+        )
+        results = Simulation(mini_synthetic.trace, protocol, config).run()
+        assert results.detections == []
+        assert results.generated > 0

@@ -1,0 +1,70 @@
+"""Tests for pairwise authenticated sessions."""
+
+import random
+
+import pytest
+
+from repro.crypto import Authority, SessionBroker, SessionError
+from repro.crypto.session import open_session_pair
+
+
+@pytest.fixture
+def broker(provider, rng):
+    return SessionBroker(provider, rng)
+
+
+@pytest.fixture
+def pair(authority):
+    return authority.enroll(1), authority.enroll(2)
+
+
+class TestHandshake:
+    def test_session_established(self, broker, pair):
+        a, b = pair
+        session = broker.handshake(a, b, now=10.0)
+        assert session.opened_at == 10.0
+        assert session.initiator.node_id == 1
+        assert session.responder.node_id == 2
+
+    def test_channel_carries_data(self, broker, pair):
+        a, b = pair
+        session = broker.handshake(a, b, now=0.0)
+        assert session.channel.open(session.channel.seal(b"hi")) == b"hi"
+
+    def test_peer_of(self, broker, pair):
+        a, b = pair
+        session = broker.handshake(a, b, now=0.0)
+        assert session.peer_of(1) == 2
+        assert session.peer_of(2) == 1
+
+    def test_peer_of_unknown_raises(self, broker, pair):
+        a, b = pair
+        session = broker.handshake(a, b, now=0.0)
+        with pytest.raises(ValueError):
+            session.peer_of(9)
+
+    def test_foreign_authority_rejected(self, provider, broker, authority):
+        a = authority.enroll(1)
+        rogue_authority = Authority(provider)
+        mallory = rogue_authority.enroll(66)
+        with pytest.raises(SessionError):
+            broker.handshake(a, mallory, now=0.0)
+
+    def test_non_raising_wrapper_success(self, broker, pair):
+        a, b = pair
+        session, err = open_session_pair(broker, a, b, now=0.0)
+        assert err is None
+        assert session is not None
+
+    def test_non_raising_wrapper_failure(self, provider, broker, authority):
+        a = authority.enroll(1)
+        mallory = Authority(provider).enroll(66)
+        session, err = open_session_pair(broker, a, mallory, now=0.0)
+        assert session is None
+        assert isinstance(err, SessionError)
+
+    def test_fresh_keys_per_session(self, broker, pair):
+        a, b = pair
+        s1 = broker.handshake(a, b, now=0.0)
+        s2 = broker.handshake(a, b, now=1.0)
+        assert s1.channel.key != s2.channel.key

@@ -1,0 +1,121 @@
+"""Tests for the ASCII chart renderer."""
+
+from repro.experiments.runner import FigureData, Series
+from repro.metrics import ascii_chart, chart_figure
+
+
+def demo_series():
+    return [
+        Series(label="plain", xs=[0, 10, 20], ys=[72.0, 49.0, 15.0]),
+        Series(label="outsiders", xs=[0, 10, 20], ys=[73.0, 60.0, 17.0]),
+    ]
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_chart(demo_series())
+        assert "A=plain" in chart
+        assert "B=outsiders" in chart
+        assert "A" in chart.splitlines()[0] or any(
+            "A" in line for line in chart.splitlines()
+        )
+
+    def test_axis_bounds_shown(self):
+        chart = ascii_chart(demo_series(), x_label="droppers")
+        assert "x: 0 .. 20" in chart
+        assert "droppers" in chart
+        assert "73" in chart  # y max
+        assert "15" in chart  # y min
+
+    def test_empty_input(self):
+        assert ascii_chart([]) == "(no data to chart)"
+        assert ascii_chart([Series(label="empty")]) == "(no data to chart)"
+
+    def test_degenerate_single_point(self):
+        chart = ascii_chart([Series(label="one", xs=[5.0], ys=[3.0])])
+        assert "A=one" in chart
+
+    def test_constant_series(self):
+        chart = ascii_chart(
+            [Series(label="flat", xs=[0, 1, 2], ys=[5.0, 5.0, 5.0])]
+        )
+        assert "A=flat" in chart
+
+    def test_dimensions(self):
+        chart = ascii_chart(demo_series(), width=30, height=8)
+        plot_rows = [line for line in chart.splitlines() if "|" in line]
+        assert len(plot_rows) == 8
+
+    def test_collision_marker(self):
+        overlapping = [
+            Series(label="a", xs=[0.0], ys=[1.0]),
+            Series(label="b", xs=[0.0], ys=[1.0]),
+        ]
+        chart = ascii_chart(overlapping)
+        assert "*" in chart
+
+
+class TestChartFigure:
+    def test_header_and_chart(self):
+        figure = FigureData(
+            figure_id="figX", title="demo", x_label="n", y_label="%",
+            series=demo_series(),
+        )
+        out = chart_figure(figure)
+        assert out.startswith("== figX: demo ==")
+        assert "A=plain" in out
+
+    def test_render_includes_chart(self):
+        figure = FigureData(
+            figure_id="figX", title="demo", x_label="n", y_label="%",
+            series=demo_series(),
+        )
+        rendered = figure.render()
+        assert "A=plain" in rendered
+        assert "72.00" in rendered  # the table part remains
+
+    def test_render_chartless(self):
+        figure = FigureData(
+            figure_id="figX", title="demo", x_label="n", y_label="%",
+            series=demo_series(),
+        )
+        rendered = figure.render(chart=False)
+        assert "A=plain" not in rendered
+
+
+class TestChartEdgeCases:
+    def test_min_width_one_column(self):
+        chart = ascii_chart(
+            [Series(label="a", xs=[0, 1], ys=[0.0, 1.0])], width=1, height=2
+        )
+        assert "A=a" in chart
+
+    def test_negative_values(self):
+        chart = ascii_chart(
+            [Series(label="a", xs=[0, 1], ys=[-5.0, 5.0])]
+        )
+        assert "-5" in chart
+        assert "5" in chart
+
+    def test_many_series_marker_wraparound(self):
+        series = [
+            Series(label=f"s{i}", xs=[float(i)], ys=[float(i)])
+            for i in range(12)
+        ]
+        chart = ascii_chart(series)
+        # markers wrap after 10; legend lists all twelve
+        assert "A=s0" in chart and "A=s10" in chart
+
+
+class TestTextTableEdgeCases:
+    def test_min_width_respected(self):
+        from repro.metrics import text_table
+
+        table = text_table(["a"], [["x"]], min_width=20)
+        assert len(table.splitlines()[0]) >= 20
+
+    def test_ragged_rows_tolerated(self):
+        from repro.metrics import text_table
+
+        table = text_table(["a", "b"], [["only-one"]])
+        assert "only-one" in table

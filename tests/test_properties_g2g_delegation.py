@@ -1,0 +1,118 @@
+"""Property-based invariants of G2G Delegation Forwarding.
+
+Post-run inspection over random small traces: in all-honest runs the
+wire-level artifacts must be internally consistent — quality chains
+monotone, declarations truthful, attachments only ever signed by
+genuinely failed candidates, and no PoM ever issued.
+"""
+
+import random as _random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import G2GDelegationForwarding
+from repro.core.proofs import verify_quality_declaration
+from repro.sim import Simulation, SimulationConfig
+from repro.traces import ContactTrace, make_contact
+
+
+@st.composite
+def small_traces(draw):
+    num_nodes = draw(st.integers(6, 9))
+    num_contacts = draw(st.integers(10, 40))
+    seed = draw(st.integers(0, 10**6))
+    rng = _random.Random(seed)
+    contacts = []
+    for _ in range(num_contacts):
+        a = rng.randrange(num_nodes)
+        b = rng.randrange(num_nodes)
+        while b == a:
+            b = rng.randrange(num_nodes)
+        start = rng.uniform(0.0, 5000.0)
+        contacts.append(
+            make_contact(a, b, start, start + rng.uniform(10, 120))
+        )
+    return ContactTrace(
+        name=f"g2gdel-{seed}",
+        nodes=tuple(range(num_nodes)),
+        contacts=tuple(contacts),
+    )
+
+
+CONFIG = SimulationConfig(
+    run_length=6000.0,
+    silent_tail=500.0,
+    mean_interarrival=150.0,
+    ttl=1500.0,
+    quality_timeframe=400.0,
+    seed=13,
+    heavy_hmac_iterations=2,
+)
+
+
+def run_delegation(trace):
+    protocol = G2GDelegationForwarding("last_contact")
+    results = Simulation(trace, protocol, CONFIG).run()
+    return protocol, results
+
+
+@settings(max_examples=15, deadline=None)
+@given(trace=small_traces())
+def test_honest_runs_never_convict(trace):
+    _, results = run_delegation(trace)
+    assert results.detections == []
+    assert results.evicted_at == {}
+
+
+@settings(max_examples=15, deadline=None)
+@given(trace=small_traces())
+def test_proof_chains_monotone(trace):
+    """Every honest copy's PoR sequence has strictly increasing
+    qualities (destination PoRs excepted)."""
+    protocol, results = run_delegation(trace)
+    ctx = protocol.ctx
+    for node in ctx.nodes.values():
+        for copy in node.buffer.values():
+            destination = copy.message.destination
+            chain = [
+                por
+                for por in sorted(copy.proofs, key=lambda p: p.signed_at)
+                if por.taker != destination
+            ]
+            for por in chain:
+                assert por.taker_quality > por.message_quality
+            for earlier, later in zip(chain, chain[1:]):
+                assert later.message_quality == earlier.taker_quality
+
+
+@settings(max_examples=15, deadline=None)
+@given(trace=small_traces())
+def test_attachments_are_signed_failures(trace):
+    """Attachments riding with copies verify and concern the true
+    destination."""
+    protocol, results = run_delegation(trace)
+    ctx = protocol.ctx
+    verifier = protocol.identities[trace.nodes[0]]
+    for node in ctx.nodes.values():
+        for copy in node.buffer.values():
+            for declaration in copy.attachments:
+                assert declaration.destination == copy.message.destination
+                assert verify_quality_declaration(
+                    verifier,
+                    protocol.identities[declaration.declarant].certificate,
+                    declaration,
+                )
+
+
+@settings(max_examples=10, deadline=None)
+@given(trace=small_traces())
+def test_source_records_only_direct_takers(trace):
+    protocol, results = run_delegation(trace)
+    for node_id, records in protocol._sources.items():
+        for msg_id, record in records.items():
+            assert record.message.source == node_id
+            assert record.is_source
+            # takers are distinct and never the source itself
+            assert len(record.takers) == len(set(record.takers))
+            assert node_id not in record.takers

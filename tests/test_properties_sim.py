@@ -1,0 +1,108 @@
+"""Property-based invariants of the simulator and protocols.
+
+Random small traces + random traffic; the invariants must hold for
+every realization:
+
+* accounting: delivered <= generated, delays in (0, run_length];
+* faithfulness: honest G2G runs never produce detections or evictions;
+* dominance: on identical contacts and traffic, vanilla Epidemic
+  delivers a superset of G2G Epidemic (the give-2 cap only removes
+  relay opportunities) and at least as many replicas.
+"""
+
+import random as _random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import G2GEpidemicForwarding
+from repro.protocols import DelegationForwarding, EpidemicForwarding
+from repro.sim import Simulation, SimulationConfig
+from repro.traces import ContactTrace, make_contact
+
+
+@st.composite
+def small_traces(draw):
+    """A random trace over 5-8 nodes with 5-30 short contacts."""
+    num_nodes = draw(st.integers(5, 8))
+    num_contacts = draw(st.integers(5, 30))
+    seed = draw(st.integers(0, 10**6))
+    rng = _random.Random(seed)
+    contacts = []
+    for _ in range(num_contacts):
+        a = rng.randrange(num_nodes)
+        b = rng.randrange(num_nodes)
+        while b == a:
+            b = rng.randrange(num_nodes)
+        start = rng.uniform(0.0, 3000.0)
+        contacts.append(make_contact(a, b, start, start + rng.uniform(5, 60)))
+    return ContactTrace(
+        name=f"prop-{seed}",
+        nodes=tuple(range(num_nodes)),
+        contacts=tuple(contacts),
+    )
+
+
+CONFIG = SimulationConfig(
+    run_length=4000.0,
+    silent_tail=500.0,
+    mean_interarrival=120.0,
+    ttl=900.0,
+    seed=11,
+    heavy_hmac_iterations=2,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(trace=small_traces())
+def test_accounting_invariants(trace):
+    results = Simulation(trace, EpidemicForwarding(), CONFIG).run()
+    assert 0 <= results.delivered <= results.generated
+    for record in results.messages.values():
+        if record.delivered:
+            assert 0.0 <= record.delay <= CONFIG.run_length
+            # delivery can only happen while the message is alive
+            assert record.delay <= CONFIG.ttl
+        assert record.replicas >= 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(trace=small_traces())
+def test_honest_g2g_never_detects(trace):
+    results = Simulation(trace, G2GEpidemicForwarding(), CONFIG).run()
+    assert results.detections == []
+    assert results.evicted_at == {}
+
+
+@settings(max_examples=20, deadline=None)
+@given(trace=small_traces())
+def test_epidemic_dominates_g2g(trace):
+    epidemic = Simulation(trace, EpidemicForwarding(), CONFIG).run()
+    g2g = Simulation(trace, G2GEpidemicForwarding(), CONFIG).run()
+    delivered_epidemic = {
+        m for m, r in epidemic.messages.items() if r.delivered
+    }
+    delivered_g2g = {m for m, r in g2g.messages.items() if r.delivered}
+    assert delivered_g2g <= delivered_epidemic
+    # replica dominance holds per message as well
+    for msg_id, record in g2g.messages.items():
+        assert record.replicas <= epidemic.messages[msg_id].replicas
+
+
+@settings(max_examples=20, deadline=None)
+@given(trace=small_traces())
+def test_delegation_cost_bounded_by_epidemic(trace):
+    epidemic = Simulation(trace, EpidemicForwarding(), CONFIG).run()
+    delegation = Simulation(
+        trace, DelegationForwarding("last_contact"), CONFIG
+    ).run()
+    assert delegation.cost <= epidemic.cost + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(trace=small_traces(), seed=st.integers(0, 100))
+def test_determinism(trace, seed):
+    config = CONFIG.with_seed(seed)
+    a = Simulation(trace, G2GEpidemicForwarding(), config).run()
+    b = Simulation(trace, G2GEpidemicForwarding(), config).run()
+    assert a.summary() == b.summary()

@@ -1,0 +1,134 @@
+"""Protocol-level tests for vanilla Epidemic Forwarding."""
+
+import pytest
+
+from repro.adversaries import Dropper
+from repro.protocols import EpidemicForwarding
+from repro.sim import Simulation, SimulationConfig
+from repro.sim.messages import Message
+from repro.traces import ContactTrace, make_contact
+
+
+def harness(trace, config=None, strategies=None):
+    """Bind a fresh epidemic protocol to a context for manual driving."""
+    config = config or SimulationConfig(
+        run_length=4000.0, silent_tail=1000.0, mean_interarrival=1e6,
+        ttl=2000.0,
+    )
+    protocol = EpidemicForwarding()
+    sim = Simulation(trace, protocol, config, strategies=strategies)
+    ctx = sim._build_context()
+    protocol.bind(ctx)
+    return protocol, ctx
+
+
+def inject(protocol, ctx, source, destination, created, ttl=2000.0, msg_id=0):
+    message = Message(
+        msg_id=msg_id, source=source, destination=destination,
+        created_at=created, ttl=ttl,
+    )
+    ctx.results.record_generated(message)
+    protocol.on_message_generated(message, created)
+    return message
+
+
+class TestRelaying:
+    def test_every_contact_spreads(self, star_trace):
+        protocol, ctx = harness(star_trace)
+        inject(protocol, ctx, source=0, destination=4, created=0.0)
+        for c in star_trace.contacts:
+            protocol.on_contact_start(c.a, c.b, c.start)
+        # all four peers got copies (4 is the destination)
+        assert ctx.results.messages[0].replicas == 4
+        assert ctx.results.delivered == 1
+
+    def test_no_duplicate_to_same_node(self, pair_trace):
+        protocol, ctx = harness(pair_trace)
+        inject(protocol, ctx, source=0, destination=1, created=0.0, ttl=5000.0)
+        for c in pair_trace.contacts:
+            protocol.on_contact_start(c.a, c.b, c.start)
+        assert ctx.results.messages[0].replicas == 1
+
+    def test_generation_mid_contact_spreads_immediately(self, pair_trace):
+        protocol, ctx = harness(pair_trace)
+        ctx.active_contacts.add(frozenset((0, 1)))
+        inject(protocol, ctx, source=0, destination=1, created=150.0)
+        assert ctx.results.delivered == 1
+
+    def test_expired_copies_purged(self):
+        trace = ContactTrace(
+            name="t",
+            nodes=(0, 1, 2),
+            contacts=(
+                make_contact(0, 1, 100.0, 200.0),
+                make_contact(1, 2, 3000.0, 3100.0),
+            ),
+        )
+        protocol, ctx = harness(trace)
+        inject(protocol, ctx, source=0, destination=2, created=0.0, ttl=500.0)
+        protocol.on_contact_start(0, 1, 100.0)
+        assert ctx.node(1).has_copy(0)
+        protocol.on_contact_start(1, 2, 3000.0)  # expired by now
+        assert not ctx.node(1).has_copy(0)
+        assert ctx.results.delivered == 0
+
+
+class TestDroppers:
+    def test_dropper_sinks_messages(self):
+        trace = ContactTrace(
+            name="t",
+            nodes=(0, 1, 2),
+            contacts=(
+                make_contact(0, 1, 100.0, 200.0),
+                make_contact(1, 2, 400.0, 500.0),
+            ),
+        )
+        protocol, ctx = harness(trace, strategies={1: Dropper()})
+        inject(protocol, ctx, source=0, destination=2, created=0.0)
+        for c in trace.contacts:
+            protocol.on_contact_start(c.a, c.b, c.start)
+        # node 1 accepted (replica 1) then dropped; 2 never gets it.
+        assert ctx.results.messages[0].replicas == 1
+        assert ctx.results.delivered == 0
+        assert ctx.results.deviation_counts[1] == 1
+
+    def test_dropper_still_receives_own_messages(self):
+        trace = ContactTrace(
+            name="t",
+            nodes=(0, 1),
+            contacts=(make_contact(0, 1, 100.0, 200.0),),
+        )
+        protocol, ctx = harness(trace, strategies={1: Dropper()})
+        inject(protocol, ctx, source=0, destination=1, created=0.0)
+        protocol.on_contact_start(0, 1, 100.0)
+        assert ctx.results.delivered == 1
+
+    def test_dropper_not_reinfected(self):
+        trace = ContactTrace(
+            name="t",
+            nodes=(0, 1, 2),
+            contacts=(
+                make_contact(0, 1, 100.0, 200.0),
+                make_contact(0, 1, 400.0, 500.0),
+            ),
+        )
+        protocol, ctx = harness(trace, strategies={1: Dropper()})
+        inject(protocol, ctx, source=0, destination=2, created=0.0)
+        for c in trace.contacts:
+            protocol.on_contact_start(c.a, c.b, c.start)
+        # The second meeting must not re-relay: node 1 already "saw" it.
+        assert ctx.results.messages[0].replicas == 1
+
+    def test_full_run_with_droppers_degrades(self, mini_synthetic):
+        config = SimulationConfig(
+            run_length=2 * 3600.0, silent_tail=1800.0,
+            mean_interarrival=30.0, ttl=1200.0, seed=4,
+        )
+        trace = mini_synthetic.trace
+        honest = Simulation(trace, EpidemicForwarding(), config).run()
+        strategies = {n: Dropper() for n in trace.nodes}
+        all_drop = Simulation(
+            trace, EpidemicForwarding(), config, strategies=strategies
+        ).run()
+        assert all_drop.success_rate < honest.success_rate
+        assert all_drop.cost < honest.cost

@@ -1,0 +1,122 @@
+"""Tests for forwarding-quality trackers and timeframe versioning."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols.quality import QualityTracker
+
+
+@pytest.fixture
+def frequency():
+    return QualityTracker("frequency", timeframe=100.0)
+
+
+@pytest.fixture
+def last_contact():
+    return QualityTracker("last_contact", timeframe=100.0)
+
+
+class TestValidation:
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            QualityTracker("hops", timeframe=100.0)
+
+    def test_nonpositive_timeframe(self):
+        with pytest.raises(ValueError):
+            QualityTracker("frequency", timeframe=0.0)
+
+
+class TestFrequency:
+    def test_counts_encounters(self, frequency):
+        frequency.encounter(1, 2, 10.0)
+        frequency.encounter(1, 2, 20.0)
+        assert frequency.current(1, 2, 30.0) == 2.0
+
+    def test_symmetric(self, frequency):
+        frequency.encounter(1, 2, 10.0)
+        assert frequency.current(2, 1, 20.0) == 1.0
+
+    def test_unrelated_pair_zero(self, frequency):
+        frequency.encounter(1, 2, 10.0)
+        assert frequency.current(1, 3, 20.0) == 0.0
+
+
+class TestLastContact:
+    def test_records_time(self, last_contact):
+        last_contact.encounter(1, 2, 42.0)
+        assert last_contact.current(1, 2, 50.0) == 42.0
+
+    def test_newer_wins(self, last_contact):
+        last_contact.encounter(1, 2, 42.0)
+        last_contact.encounter(1, 2, 77.0)
+        assert last_contact.current(1, 2, 80.0) == 77.0
+
+    def test_better_is_greater(self, last_contact):
+        assert last_contact.better(50.0, 20.0)
+        assert not last_contact.better(20.0, 50.0)
+        assert not last_contact.better(20.0, 20.0)
+
+
+class TestTimeframes:
+    def test_completed_is_zero_in_first_frame(self, frequency):
+        frequency.encounter(1, 2, 10.0)
+        value, frame = frequency.completed(1, 2, 50.0)
+        assert value == 0.0
+        assert frame == -1
+
+    def test_completed_lags_current(self, frequency):
+        frequency.encounter(1, 2, 10.0)  # frame 0
+        frequency.encounter(1, 2, 150.0)  # frame 1
+        # At t=160 (frame 1): last completed frame is 0 -> value 1.
+        value, frame = frequency.completed(1, 2, 160.0)
+        assert (value, frame) == (1.0, 0)
+        # At t=250 (frame 2): last completed frame is 1 -> value 2.
+        value, frame = frequency.completed(1, 2, 250.0)
+        assert (value, frame) == (2.0, 1)
+
+    def test_value_at_frame_within_retention(self, frequency):
+        frequency.encounter(1, 2, 10.0)
+        frequency.encounter(1, 2, 150.0)
+        assert frequency.value_at_frame(1, 2, 0, now=250.0) == 1.0
+        assert frequency.value_at_frame(1, 2, 1, now=250.0) == 2.0
+
+    def test_value_at_frame_outside_retention(self, frequency):
+        frequency.encounter(1, 2, 10.0)
+        # At t=1000 (frame 10), frame 0 is long gone.
+        assert frequency.value_at_frame(1, 2, 0, now=1000.0) is None
+
+    def test_idle_frames_carry_value_forward(self, frequency):
+        frequency.encounter(1, 2, 10.0)
+        # Frames 1..4 had no encounters; completed value stays 1.
+        value, frame = frequency.completed(1, 2, 450.0)
+        assert (value, frame) == (1.0, 3)
+
+    def test_symmetric_verification(self, last_contact):
+        """B's declared completed value equals D's recomputation —
+        the basis of the test by the destination."""
+        last_contact.encounter(3, 7, 42.0)
+        last_contact.encounter(3, 7, 130.0)
+        declared, frame = last_contact.completed(3, 7, 250.0)
+        assert last_contact.value_at_frame(7, 3, frame, now=260.0) == declared
+
+    @settings(max_examples=30)
+    @given(
+        times=st.lists(
+            st.floats(0.0, 1000.0), min_size=1, max_size=20, unique=True
+        ),
+        query=st.floats(0.0, 2000.0),
+    )
+    def test_completed_never_exceeds_current_frequency(self, times, query):
+        tracker = QualityTracker("frequency", timeframe=100.0)
+        for t in sorted(times):
+            tracker.encounter(1, 2, t)
+        horizon = max(max(times), query)
+        completed, _ = tracker.completed(1, 2, horizon)
+        current = tracker.current(1, 2, horizon)
+        assert completed <= current
+
+    def test_frame_of(self, frequency):
+        assert frequency.frame_of(0.0) == 0
+        assert frequency.frame_of(99.9) == 0
+        assert frequency.frame_of(100.0) == 1

@@ -1,0 +1,80 @@
+"""Tests for simulation configuration."""
+
+import pytest
+
+from repro.sim.config import EnergyModel, SimulationConfig, config_for
+
+
+class TestValidation:
+    def test_defaults_are_paper_setting(self):
+        config = SimulationConfig()
+        assert config.run_length == 3 * 3600.0
+        assert config.silent_tail == 3600.0
+        assert config.mean_interarrival == 4.0
+        assert config.relay_fanout == 2
+        assert config.delta2 == 2 * config.delta1
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("run_length", 0.0),
+            ("silent_tail", -1.0),
+            ("silent_tail", 4 * 3600.0),
+            ("mean_interarrival", 0.0),
+            ("ttl", 0.0),
+            ("delta2_factor", 1.0),
+            ("relay_fanout", 0),
+            ("quality_timeframe", 0.0),
+        ],
+    )
+    def test_invalid_fields_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            SimulationConfig(**{field: value})
+
+    def test_generation_deadline(self):
+        config = SimulationConfig(run_length=7200.0, silent_tail=1800.0)
+        assert config.generation_deadline == 5400.0
+
+    def test_with_ttl(self):
+        config = SimulationConfig().with_ttl(99.0)
+        assert config.ttl == 99.0
+
+    def test_with_seed(self):
+        assert SimulationConfig().with_seed(9).seed == 9
+
+
+class TestEnergyModel:
+    def test_transfer_cost_scales(self):
+        e = EnergyModel()
+        assert e.transfer_cost(2048) == pytest.approx(2 * e.transmit_per_kb)
+
+    def test_heavy_hmac_exceeds_transfer(self):
+        # The Nash condition: answering the storage challenge must cost
+        # more than relaying a (1 KB) message.
+        e = EnergyModel()
+        assert e.heavy_hmac > e.transfer_cost(1024)
+
+
+class TestConfigFor:
+    def test_epidemic_ttls(self):
+        assert config_for("infocom05", "epidemic").ttl == 30 * 60.0
+        assert config_for("cambridge06", "epidemic").ttl == 35 * 60.0
+
+    def test_delegation_ttls(self):
+        assert config_for("infocom05", "delegation").ttl == 45 * 60.0
+        assert config_for("cambridge06", "delegation").ttl == 75 * 60.0
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError):
+            config_for("infocom05", "flooding")
+
+    def test_unknown_trace(self):
+        with pytest.raises(KeyError):
+            config_for("mit", "epidemic")
+
+    def test_overrides(self):
+        config = config_for("infocom05", "epidemic", relay_fanout=3)
+        assert config.relay_fanout == 3
+
+    def test_seed_passthrough(self):
+        assert config_for("infocom05", "epidemic", seed=77).seed == 77

@@ -1,0 +1,134 @@
+"""Tests for the structured protocol event log."""
+
+import pytest
+
+from repro.adversaries import Dropper
+from repro.core import G2GEpidemicForwarding
+from repro.sim import Simulation, SimulationConfig
+from repro.sim.eventlog import EventLog, EventType, ProtocolEvent
+
+
+class TestEventLog:
+    def test_disabled_log_records_nothing(self):
+        log = EventLog(enabled=False)
+        log.log(1.0, EventType.RELAYED, msg_id=0, actor=1, subject=2)
+        assert len(log) == 0
+
+    def test_enabled_log_records(self):
+        log = EventLog()
+        log.log(1.0, EventType.RELAYED, msg_id=0, actor=1, subject=2)
+        assert len(log) == 1
+        event = next(iter(log))
+        assert event.event_type is EventType.RELAYED
+
+    def test_filter_by_type(self):
+        log = EventLog()
+        log.log(1.0, EventType.RELAYED, msg_id=0, actor=1)
+        log.log(2.0, EventType.DELIVERED, msg_id=0, actor=1)
+        assert len(log.filter(event_type=EventType.DELIVERED)) == 1
+
+    def test_filter_by_node_matches_both_roles(self):
+        log = EventLog()
+        log.log(1.0, EventType.RELAYED, msg_id=0, actor=1, subject=2)
+        assert len(log.filter(node=1)) == 1
+        assert len(log.filter(node=2)) == 1
+        assert len(log.filter(node=3)) == 0
+
+    def test_filter_predicate(self):
+        log = EventLog()
+        log.log(1.0, EventType.RELAYED, msg_id=0)
+        log.log(5.0, EventType.RELAYED, msg_id=1)
+        late = log.filter(predicate=lambda e: e.time > 2.0)
+        assert [e.msg_id for e in late] == [1]
+
+    def test_timelines_sorted(self):
+        log = EventLog()
+        log.log(5.0, EventType.DELIVERED, msg_id=0, actor=2)
+        log.log(1.0, EventType.RELAYED, msg_id=0, actor=1)
+        timeline = log.message_timeline(0)
+        assert [e.time for e in timeline] == [1.0, 5.0]
+
+    def test_render(self):
+        log = EventLog()
+        log.log(1.0, EventType.POM, msg_id=3, actor=0, subject=7,
+                detail="dropper")
+        text = log.render()
+        assert "pom" in text
+        assert "0->7" in text
+        assert "(dropper)" in text
+
+
+class TestEndToEndLogging:
+    @pytest.fixture(scope="class")
+    def results(self):
+        from repro.traces.synthetic import CommunityModelConfig, generate
+
+        trace = generate(
+            CommunityModelConfig(
+                name="mini",
+                community_sizes=(5, 5),
+                duration=2 * 3600.0,
+                base_rate=1.0 / 600.0,
+                inter_factor=0.08,
+                traveler_fraction=0.2,
+                sociability_sigma=0.2,
+                mean_contact_duration=60.0,
+                min_contact_duration=10.0,
+            ),
+            seed=7,
+        ).trace
+        config = SimulationConfig(
+            run_length=2 * 3600.0, silent_tail=1800.0,
+            mean_interarrival=30.0, ttl=1200.0, seed=4,
+            heavy_hmac_iterations=2, track_events=True,
+        )
+        return Simulation(
+            trace, G2GEpidemicForwarding(), config,
+            strategies={3: Dropper()},
+        ).run()
+
+    def test_log_attached(self, results):
+        assert results.events is not None
+        assert len(results.events) > 0
+
+    def test_generation_events_match_messages(self, results):
+        generated = results.events.filter(event_type=EventType.GENERATED)
+        assert len(generated) == results.generated
+
+    def test_delivery_events_match_metrics(self, results):
+        delivered = results.events.filter(event_type=EventType.DELIVERED)
+        # First-delivery metric counts distinct messages; the log may
+        # contain at most one DELIVERED per message (seen-set).
+        assert len({e.msg_id for e in delivered}) == results.delivered
+
+    def test_pom_events_match_detections(self, results):
+        poms = results.events.filter(event_type=EventType.POM)
+        assert len(poms) == len(results.detections)
+        for event, record in zip(
+            sorted(poms, key=lambda e: e.time),
+            sorted(results.detections, key=lambda d: d.time),
+        ):
+            assert event.subject == record.offender
+            assert event.detail == record.deviation
+
+    def test_dropper_story_reconstructable(self, results):
+        """The offender's timeline shows drop -> failed test -> PoM."""
+        if 3 not in results.evicted_at:
+            pytest.skip("dropper not convicted in this configuration")
+        timeline = results.events.node_timeline(3)
+        kinds = [e.event_type for e in timeline]
+        assert EventType.DROPPED in kinds
+        assert EventType.POM in kinds
+        assert EventType.EVICTED in kinds
+        # the PoM comes after at least one drop
+        first_drop = min(
+            e.time for e in timeline if e.event_type is EventType.DROPPED
+        )
+        pom_time = min(
+            e.time for e in timeline if e.event_type is EventType.POM
+        )
+        assert pom_time > first_drop
+
+    def test_disabled_by_default(self):
+        config = SimulationConfig()
+        assert config.track_events is False

@@ -1,0 +1,55 @@
+"""Tests for the event queue."""
+
+from repro.sim.events import Event, EventKind, EventQueue
+from repro.traces import make_contact
+
+
+class TestOrdering:
+    def test_time_order(self):
+        q = EventQueue()
+        q.push(Event(time=5.0, kind=EventKind.MESSAGE_GENERATION, traffic=(0, 1)))
+        q.push(Event(time=1.0, kind=EventKind.MESSAGE_GENERATION, traffic=(1, 2)))
+        q.push(Event(time=3.0, kind=EventKind.MESSAGE_GENERATION, traffic=(2, 3)))
+        assert [e.time for e in q.drain()] == [1.0, 3.0, 5.0]
+
+    def test_end_before_start_at_same_instant(self):
+        q = EventQueue()
+        c1 = make_contact(0, 1, 0.0, 10.0)
+        c2 = make_contact(0, 1, 10.0, 20.0)
+        q.push_contact(c1)
+        q.push_contact(c2)
+        kinds = [(e.time, e.kind) for e in q.drain()]
+        assert kinds == [
+            (0.0, EventKind.CONTACT_START),
+            (10.0, EventKind.CONTACT_END),
+            (10.0, EventKind.CONTACT_START),
+            (20.0, EventKind.CONTACT_END),
+        ]
+
+    def test_generation_after_start_at_same_instant(self):
+        q = EventQueue()
+        q.push(Event(time=5.0, kind=EventKind.MESSAGE_GENERATION, traffic=(0, 1)))
+        q.push_contact(make_contact(0, 1, 5.0, 6.0))
+        kinds = [e.kind for e in q.drain() if e.time == 5.0]
+        assert kinds == [EventKind.CONTACT_START, EventKind.MESSAGE_GENERATION]
+
+    def test_fifo_tiebreak_within_kind(self):
+        q = EventQueue()
+        q.push(Event(time=1.0, kind=EventKind.MESSAGE_GENERATION, traffic=(0, 1)))
+        q.push(Event(time=1.0, kind=EventKind.MESSAGE_GENERATION, traffic=(2, 3)))
+        events = list(q.drain())
+        assert events[0].traffic == (0, 1)
+        assert events[1].traffic == (2, 3)
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        q.push_contact(make_contact(0, 1, 0.0, 1.0))
+        assert len(q) == 2
+        assert q
+
+    def test_pop_empty_raises(self):
+        import pytest
+
+        with pytest.raises(IndexError):
+            EventQueue().pop()

@@ -1,0 +1,54 @@
+"""Tests for messages and stored copies."""
+
+import pytest
+
+from repro.sim.messages import Message, StoredCopy
+
+
+def msg(**overrides):
+    base = dict(
+        msg_id=1, source=0, destination=5, created_at=100.0, ttl=600.0
+    )
+    base.update(overrides)
+    return Message(**base)
+
+
+class TestMessage:
+    def test_expiry(self):
+        m = msg()
+        assert m.expires_at == 700.0
+        assert m.alive_at(699.0)
+        assert not m.alive_at(700.0)
+
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(ValueError):
+            msg(destination=0)
+
+    def test_nonpositive_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            msg(ttl=0.0)
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            msg().ttl = 5.0
+
+
+class TestStoredCopy:
+    def test_defaults(self):
+        copy = StoredCopy(message=msg(), received_at=100.0)
+        assert copy.num_relays == 0
+        assert copy.received_from is None
+        assert not copy.body_dropped
+
+    def test_memory_accounting(self):
+        copy = StoredCopy(message=msg(size_bytes=2048), received_at=0.0)
+        assert copy.memory_bytes() == 2048
+        copy.proofs.append(object())
+        assert copy.memory_bytes(proof_size=64) == 2048 + 64
+        copy.body_dropped = True
+        assert copy.memory_bytes(proof_size=64) == 64
+
+    def test_relay_tracking(self):
+        copy = StoredCopy(message=msg(), received_at=0.0)
+        copy.relays.extend([3, 4])
+        assert copy.num_relays == 2

@@ -1,0 +1,144 @@
+"""Tests for metric collection and derivation."""
+
+import pytest
+
+from repro.sim.messages import Message
+from repro.sim.results import DetectionRecord, SimulationResults
+
+
+def msg(i, created=0.0, ttl=600.0):
+    return Message(
+        msg_id=i, source=0, destination=1, created_at=created, ttl=ttl
+    )
+
+
+@pytest.fixture
+def results():
+    return SimulationResults(protocol="test", trace="t", seed=0)
+
+
+class TestDelivery:
+    def test_success_rate(self, results):
+        m1, m2 = msg(1), msg(2)
+        results.record_generated(m1)
+        results.record_generated(m2)
+        results.record_delivery(m1, 100.0)
+        assert results.generated == 2
+        assert results.delivered == 1
+        assert results.success_rate == 0.5
+
+    def test_first_delivery_wins(self, results):
+        m = msg(1, created=50.0)
+        results.record_generated(m)
+        results.record_delivery(m, 100.0)
+        results.record_delivery(m, 400.0)
+        assert results.messages[1].delay == 50.0
+
+    def test_empty_run(self, results):
+        assert results.success_rate == 0.0
+        assert results.mean_delay == 0.0
+        assert results.cost == 0.0
+
+    def test_delays(self, results):
+        for i, delivered in ((1, 100.0), (2, 300.0)):
+            m = msg(i, created=0.0)
+            results.record_generated(m)
+            results.record_delivery(m, delivered)
+        assert results.mean_delay == 200.0
+        assert results.median_delay == 200.0
+
+    def test_cost(self, results):
+        m1, m2 = msg(1), msg(2)
+        results.record_generated(m1)
+        results.record_generated(m2)
+        for _ in range(4):
+            results.record_replica(m1)
+        assert results.cost == 2.0
+
+
+class TestDetection:
+    def rec(self, offender, t=1000.0, deviation="dropper", msg_id=1):
+        return DetectionRecord(
+            offender=offender,
+            detector=0,
+            time=t,
+            msg_id=msg_id,
+            deviation=deviation,
+            delay_after_ttl=t - 600.0,
+        )
+
+    def test_detection_rate(self, results):
+        results.record_detection(self.rec(5))
+        assert results.detection_rate([5, 6]) == 0.5
+        assert results.detection_rate([]) == 0.0
+
+    def test_false_positives(self, results):
+        results.record_detection(self.rec(5))
+        results.record_detection(self.rec(9))
+        assert results.false_positives([5]) == {9}
+
+    def test_first_detections(self, results):
+        results.record_detection(self.rec(5, t=2000.0))
+        results.record_detection(self.rec(5, t=1000.0))
+        assert results.first_detections()[5].time == 1000.0
+
+    def test_mean_detection_delay(self, results):
+        results.record_detection(self.rec(5, t=700.0))
+        results.record_detection(self.rec(6, t=900.0))
+        assert results.mean_detection_delay() == pytest.approx(200.0)
+
+    def test_offender_anchored_delay(self, results):
+        m = msg(1, created=0.0, ttl=600.0)
+        results.record_generated(m)
+        results.record_deviation(5, m)
+        results.record_detection(self.rec(5, t=1000.0))
+        # anchor = 600 (expiry of first deviated-on message)
+        assert results.offender_detection_delays()[5] == 400.0
+
+    def test_offender_delay_clamped(self, results):
+        m = msg(1, created=0.0, ttl=600.0)
+        results.record_generated(m)
+        results.record_deviation(5, m)
+        results.record_detection(self.rec(5, t=100.0))
+        assert results.offender_detection_delays()[5] == 0.0
+
+    def test_deviation_counts(self, results):
+        m = msg(1)
+        results.record_generated(m)
+        results.record_deviation(5, m)
+        results.record_deviation(5, m)
+        assert results.deviation_counts[5] == 2
+
+
+class TestOverheads:
+    def test_energy(self, results):
+        results.add_energy(1, 0.5)
+        results.add_energy(1, 0.25)
+        results.add_energy(2, 1.0)
+        assert results.energy[1] == 0.75
+        assert results.total_energy == 1.75
+
+    def test_memory(self, results):
+        results.add_memory(1, 1024.0)
+        results.add_memory(1, 1024.0)
+        assert results.total_memory_byte_seconds == 2048.0
+
+    def test_eviction_first_wins(self, results):
+        results.record_eviction(3, 100.0)
+        results.record_eviction(3, 200.0)
+        assert results.evicted_at[3] == 100.0
+
+    def test_summary_keys(self, results):
+        summary = results.summary()
+        assert {
+            "generated",
+            "delivered",
+            "success_rate",
+            "mean_delay",
+            "cost",
+        } <= set(summary)
+
+
+class TestSessionRefusalCounter:
+    def test_default_zero(self, results):
+        assert results.session_refusals == 0

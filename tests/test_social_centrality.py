@@ -1,0 +1,99 @@
+"""Tests for centrality measures, cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.social.centrality import (
+    betweenness_centrality,
+    closeness_centrality,
+    degree_centrality,
+    rank_nodes,
+)
+from repro.social.graph import ContactGraph
+
+
+def graph_from_edges(edges, extra_nodes=()):
+    nodes = sorted({n for e in edges for n in e} | set(extra_nodes))
+    return ContactGraph(
+        nodes=tuple(nodes),
+        edges={frozenset(e): (1, 1.0) for e in edges},
+    )
+
+
+STAR = [(0, 1), (0, 2), (0, 3), (0, 4)]
+PATH = [(0, 1), (1, 2), (2, 3)]
+BRIDGED = [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)]
+
+
+class TestDegree:
+    def test_star_center(self):
+        c = degree_centrality(graph_from_edges(STAR))
+        assert c[0] == 1.0
+        assert c[1] == pytest.approx(0.25)
+
+    def test_isolated_zero(self):
+        c = degree_centrality(graph_from_edges(STAR, extra_nodes=(9,)))
+        assert c[9] == 0.0
+
+    def test_matches_networkx(self):
+        ours = degree_centrality(graph_from_edges(BRIDGED))
+        theirs = nx.degree_centrality(nx.Graph(BRIDGED))
+        for node, value in theirs.items():
+            assert ours[node] == pytest.approx(value)
+
+
+class TestCloseness:
+    def test_path_ends_lowest(self):
+        c = closeness_centrality(graph_from_edges(PATH))
+        assert c[1] > c[0]
+        assert c[2] > c[3]
+
+    def test_matches_networkx(self):
+        ours = closeness_centrality(graph_from_edges(BRIDGED))
+        theirs = nx.closeness_centrality(nx.Graph(BRIDGED))
+        for node, value in theirs.items():
+            assert ours[node] == pytest.approx(value)
+
+    def test_disconnected_component_scaled(self):
+        edges = [(0, 1), (2, 3)]
+        ours = closeness_centrality(graph_from_edges(edges))
+        theirs = nx.closeness_centrality(nx.Graph(edges))
+        for node, value in theirs.items():
+            assert ours[node] == pytest.approx(value)
+
+    def test_isolated_zero(self):
+        c = closeness_centrality(graph_from_edges(PATH, extra_nodes=(9,)))
+        assert c[9] == 0.0
+
+
+class TestBetweenness:
+    def test_bridge_node_highest(self):
+        c = betweenness_centrality(graph_from_edges(BRIDGED))
+        assert max(c, key=c.get) in (2, 3)
+
+    def test_matches_networkx(self):
+        ours = betweenness_centrality(graph_from_edges(BRIDGED))
+        theirs = nx.betweenness_centrality(nx.Graph(BRIDGED))
+        for node, value in theirs.items():
+            assert ours[node] == pytest.approx(value)
+
+    def test_star_matches_networkx(self):
+        ours = betweenness_centrality(graph_from_edges(STAR))
+        theirs = nx.betweenness_centrality(nx.Graph(STAR))
+        for node, value in theirs.items():
+            assert ours[node] == pytest.approx(value)
+
+    def test_leaf_zero(self):
+        c = betweenness_centrality(graph_from_edges(STAR))
+        assert c[1] == 0.0
+
+
+class TestRanking:
+    def test_rank_order(self):
+        c = {1: 0.5, 2: 0.9, 3: 0.5}
+        assert rank_nodes(c) == [2, 1, 3]
+
+    def test_on_trace_graph(self, mini_synthetic):
+        graph = ContactGraph.from_trace(mini_synthetic.trace)
+        ranking = rank_nodes(degree_centrality(graph))
+        assert len(ranking) == mini_synthetic.trace.num_nodes

@@ -1,0 +1,138 @@
+"""Tests for k-clique percolation community detection."""
+
+import networkx as nx
+import pytest
+
+from repro.social.communities import (
+    CommunityMap,
+    bron_kerbosch_maximal_cliques,
+    k_clique_communities,
+)
+from repro.social.graph import ContactGraph
+from repro.traces import ContactTrace, make_contact
+
+
+def graph_from_edges(edges):
+    """Build a ContactGraph from an explicit edge list."""
+    nodes = sorted({n for e in edges for n in e})
+    return ContactGraph(
+        nodes=tuple(nodes),
+        edges={frozenset(e): (1, 1.0) for e in edges},
+    )
+
+
+TWO_TRIANGLES_BRIDGED = [
+    (0, 1), (1, 2), (0, 2),       # triangle A
+    (3, 4), (4, 5), (3, 5),       # triangle B
+    (2, 3),                       # bridge edge (not a triangle)
+]
+
+OVERLAPPING_CLIQUES = [
+    # two 4-cliques sharing an edge -> one k=3 percolation community
+    (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+    (2, 3), (2, 4), (2, 5), (3, 4), (3, 5), (4, 5),
+]
+
+
+class TestBronKerbosch:
+    def test_triangle(self):
+        g = graph_from_edges([(0, 1), (1, 2), (0, 2)])
+        cliques = bron_kerbosch_maximal_cliques(g.adjacency())
+        assert frozenset({0, 1, 2}) in cliques
+
+    def test_matches_networkx(self):
+        edges = TWO_TRIANGLES_BRIDGED + [(1, 3), (0, 5)]
+        g = graph_from_edges(edges)
+        ours = set(bron_kerbosch_maximal_cliques(g.adjacency()))
+        nxg = nx.Graph(edges)
+        theirs = {frozenset(c) for c in nx.find_cliques(nxg)}
+        assert ours == theirs
+
+    def test_empty_graph(self):
+        g = graph_from_edges([])
+        assert bron_kerbosch_maximal_cliques(g.adjacency()) == []
+
+
+class TestKCliquePercolation:
+    def test_two_triangles_stay_separate(self):
+        g = graph_from_edges(TWO_TRIANGLES_BRIDGED)
+        communities = k_clique_communities(g, k=3)
+        assert sorted(sorted(c) for c in communities) == [
+            [0, 1, 2],
+            [3, 4, 5],
+        ]
+
+    def test_overlapping_cliques_merge(self):
+        g = graph_from_edges(OVERLAPPING_CLIQUES)
+        communities = k_clique_communities(g, k=3)
+        assert len(communities) == 1
+        assert communities[0] == frozenset(range(6))
+
+    def test_matches_networkx_percolation(self):
+        edges = TWO_TRIANGLES_BRIDGED + [(1, 3), (2, 4)]
+        g = graph_from_edges(edges)
+        ours = set(k_clique_communities(g, k=3))
+        nxg = nx.Graph(edges)
+        theirs = {
+            frozenset(c) for c in nx.community.k_clique_communities(nxg, 3)
+        }
+        assert ours == theirs
+
+    def test_k4_needs_four_cliques(self):
+        g = graph_from_edges(TWO_TRIANGLES_BRIDGED)
+        assert k_clique_communities(g, k=4) == []
+
+    def test_k_below_two_rejected(self):
+        g = graph_from_edges(TWO_TRIANGLES_BRIDGED)
+        with pytest.raises(ValueError):
+            k_clique_communities(g, k=1)
+
+
+class TestCommunityMap:
+    def test_primary_assignment(self):
+        communities = [frozenset({0, 1, 2}), frozenset({3, 4})]
+        cmap = CommunityMap.from_communities(communities, universe=range(6))
+        assert cmap.community_of(0) == 0
+        assert cmap.community_of(3) == 1
+        assert cmap.community_of(5) == -1
+
+    def test_overlap_resolved_to_largest(self):
+        communities = [frozenset({0, 1, 2, 3}), frozenset({3, 4})]
+        cmap = CommunityMap.from_communities(communities, universe=range(5))
+        assert cmap.community_of(3) == 0
+
+    def test_same_community(self):
+        communities = [frozenset({0, 1}), frozenset({2, 3})]
+        cmap = CommunityMap.from_communities(communities, universe=range(5))
+        assert cmap.same_community(0, 1)
+        assert not cmap.same_community(0, 2)
+        # Unassigned nodes have no insiders, not even themselves.
+        assert not cmap.same_community(4, 4)
+
+    def test_coverage(self):
+        communities = [frozenset({0, 1})]
+        cmap = CommunityMap.from_communities(communities, universe=range(4))
+        assert cmap.coverage() == 0.5
+
+    def test_detect_on_synthetic(self, mini_synthetic):
+        cmap = CommunityMap.detect(
+            mini_synthetic.trace, k=3, edge_quantile=0.5
+        )
+        assert cmap.num_communities >= 1
+        assert cmap.coverage() > 0.5
+
+    def test_detect_recovers_ground_truth_majority(self, mini_synthetic):
+        truth = mini_synthetic.assignment
+        cmap = CommunityMap.detect(
+            mini_synthetic.trace, k=3, edge_quantile=0.7
+        )
+        nodes = sorted(truth.community_of)
+        agree = total = 0
+        for i in nodes:
+            for j in nodes:
+                if j <= i:
+                    continue
+                total += 1
+                if cmap.same_community(i, j) == truth.same_community(i, j):
+                    agree += 1
+        assert agree / total > 0.6

@@ -1,0 +1,103 @@
+"""Tests for distribution fitting, using scipy as an oracle."""
+
+import random
+
+import numpy as np
+import pytest
+from scipy import stats as sstats
+
+from repro.traces.fitting import (
+    analyze_trace,
+    empirical_ccdf,
+    fit_exponential,
+    fit_pareto_tail,
+    ks_distance,
+)
+
+
+@pytest.fixture(scope="module")
+def exp_sample():
+    rng = np.random.default_rng(7)
+    return rng.exponential(scale=120.0, size=2000).tolist()
+
+
+@pytest.fixture(scope="module")
+def pareto_sample():
+    rng = np.random.default_rng(8)
+    # Pareto with alpha=1.5, xmin=10
+    return (10.0 * (1.0 + rng.pareto(1.5, size=2000))).tolist()
+
+
+class TestExponentialFit:
+    def test_recovers_rate(self, exp_sample):
+        fit = fit_exponential(exp_sample)
+        assert fit.mean == pytest.approx(120.0, rel=0.1)
+
+    def test_ccdf(self):
+        fit = fit_exponential([1.0, 1.0, 1.0])
+        assert fit.ccdf(0.0) == 1.0
+        assert fit.ccdf(1.0) == pytest.approx(np.exp(-1.0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fit_exponential([])
+        with pytest.raises(ValueError):
+            fit_exponential([0.0, -1.0])
+
+
+class TestParetoFit:
+    def test_recovers_alpha(self, pareto_sample):
+        fit = fit_pareto_tail(pareto_sample, xmin=10.0)
+        assert fit.alpha == pytest.approx(1.5, rel=0.15)
+
+    def test_ccdf_below_xmin(self, pareto_sample):
+        fit = fit_pareto_tail(pareto_sample, xmin=10.0)
+        assert fit.ccdf(5.0) == 1.0
+        assert 0 < fit.ccdf(100.0) < 0.2
+
+    def test_tiny_tail_rejected(self):
+        with pytest.raises(ValueError):
+            fit_pareto_tail([1.0, 2.0, 3.0], xmin=2.5)
+
+
+class TestCcdfAndKs:
+    def test_empirical_ccdf_monotone(self, exp_sample):
+        ccdf = empirical_ccdf(exp_sample[:100])
+        values = [p for _, p in ccdf]
+        assert values == sorted(values, reverse=True)
+        assert values[-1] == pytest.approx(0.0)
+
+    def test_ks_matches_scipy(self, exp_sample):
+        fit = fit_exponential(exp_sample)
+        ours = ks_distance(exp_sample, fit.ccdf)
+        theirs = sstats.kstest(
+            exp_sample, sstats.expon(scale=fit.mean).cdf
+        ).statistic
+        assert ours == pytest.approx(theirs, abs=1e-9)
+
+    def test_ks_separates_families(self, exp_sample, pareto_sample):
+        exp_fit = fit_exponential(exp_sample)
+        # The exponential model fits its own data far better than the
+        # Pareto data.
+        assert ks_distance(exp_sample, exp_fit.ccdf) < 0.05
+        assert ks_distance(
+            pareto_sample, fit_exponential(pareto_sample).ccdf
+        ) > 0.1
+
+    def test_ks_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_distance([], lambda x: 1.0)
+
+
+class TestTraceAnalysis:
+    def test_report_on_synthetic(self, mini_synthetic):
+        report = analyze_trace(mini_synthetic.trace)
+        assert report.trace == "mini"
+        assert report.inter_contact_exp.n > 0
+        assert 0 <= report.inter_contact_ks_exp <= 1
+        assert "distribution fits" in report.describe()
+
+    def test_synthetic_gaps_not_wildly_nonexponential(self, mini_synthetic):
+        """The generator mixes exponentials, so KS should be modest."""
+        report = analyze_trace(mini_synthetic.trace)
+        assert report.inter_contact_ks_exp < 0.35

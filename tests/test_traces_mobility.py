@@ -1,0 +1,184 @@
+"""Tests for the geometric (HCMM-style) mobility trace generator."""
+
+import pytest
+
+from repro.traces.mobility import (
+    MobilityConfig,
+    MobilitySimulator,
+    lab_config,
+    simulate_mobility,
+)
+
+
+def tiny_config(**overrides):
+    base = dict(
+        name="tiny",
+        community_sizes=(4, 4),
+        duration=1800.0,
+        area_side=400.0,
+        grid=2,
+        radio_range=40.0,
+        time_step=10.0,
+    )
+    base.update(overrides)
+    return MobilityConfig(**base)
+
+
+class TestConfigValidation:
+    def test_empty_communities(self):
+        with pytest.raises(ValueError):
+            tiny_config(community_sizes=())
+
+    def test_more_communities_than_cells(self):
+        with pytest.raises(ValueError):
+            tiny_config(community_sizes=(1, 1, 1, 1, 1), grid=2)
+
+    def test_bad_radio_range(self):
+        with pytest.raises(ValueError):
+            tiny_config(radio_range=0.0)
+        with pytest.raises(ValueError):
+            tiny_config(radio_range=1000.0)
+
+    def test_bad_speeds(self):
+        with pytest.raises(ValueError):
+            tiny_config(speed_min=2.0, speed_max=1.0)
+
+    def test_bad_bias(self):
+        with pytest.raises(ValueError):
+            tiny_config(home_bias=1.5)
+
+    def test_cell_side(self):
+        assert tiny_config().cell_side == 200.0
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return simulate_mobility(tiny_config(), seed=3)
+
+    def test_deterministic(self, result):
+        again = simulate_mobility(tiny_config(), seed=3)
+        assert again.trace.contacts == result.trace.contacts
+
+    def test_seed_matters(self, result):
+        other = simulate_mobility(tiny_config(), seed=4)
+        assert other.trace.contacts != result.trace.contacts
+
+    def test_node_universe(self, result):
+        assert result.trace.num_nodes == 8
+
+    def test_contacts_within_duration(self, result):
+        for c in result.trace:
+            assert 0.0 <= c.start < c.end <= 1800.0
+
+    def test_contact_granularity(self, result):
+        # contacts close on sampled steps: durations are multiples of
+        # the 10 s step (subject to the end-of-run clamp).
+        for c in result.trace:
+            if c.end < 1800.0:
+                assert c.duration % 10.0 == pytest.approx(0.0, abs=1e-6)
+
+    def test_some_contacts_exist(self, result):
+        assert len(result.trace) > 0
+
+    def test_assignment_attached(self, result):
+        assert set(result.assignment.community_of) == set(range(8))
+        assert all(
+            s == 1.0 for s in result.assignment.sociability.values()
+        )
+
+
+class TestSocialStructure:
+    def test_intra_community_contacts_dominate(self):
+        st = simulate_mobility(lab_config(hours=3.0), seed=2)
+        intra = inter = 0
+        for c in st.trace:
+            if st.assignment.same_community(c.a, c.b):
+                intra += 1
+            else:
+                inter += 1
+        # per-pair normalization: fewer intra pairs exist than inter.
+        sizes = st.config.community_sizes
+        intra_pairs = sum(s * (s - 1) // 2 for s in sizes)
+        total_pairs = st.trace.num_nodes * (st.trace.num_nodes - 1) // 2
+        inter_pairs = total_pairs - intra_pairs
+        assert intra / intra_pairs > inter / inter_pairs
+
+    def test_home_cells_distinct(self):
+        sim = MobilitySimulator(tiny_config(), seed=1)
+        cells = list(sim.home_cell.values())
+        assert len(set(cells)) == len(cells)
+
+    def test_travelers_sampled(self):
+        config = tiny_config(traveler_fraction=0.25)
+        sim = MobilitySimulator(config, seed=1)
+        assert len(sim.travelers) == 2
+
+
+class TestProtocolInterop:
+    def test_epidemic_runs_on_mobility_trace(self):
+        from repro.protocols import EpidemicForwarding
+        from repro.sim import Simulation, SimulationConfig
+
+        st = simulate_mobility(lab_config(hours=3.0), seed=5)
+        config = SimulationConfig(
+            run_length=3 * 3600.0, silent_tail=3600.0,
+            mean_interarrival=60.0, ttl=1800.0, seed=1,
+        )
+        results = Simulation(st.trace, EpidemicForwarding(), config).run()
+        assert results.delivered > 0
+
+    def test_g2g_detects_droppers_on_mobility_trace(self):
+        from repro.adversaries import strategy_population
+        from repro.core import G2GEpidemicForwarding
+        from repro.sim import Simulation, SimulationConfig
+
+        st = simulate_mobility(lab_config(hours=3.0), seed=5)
+        strategies, bad = strategy_population(
+            st.trace.nodes, "dropper", 4, seed=1
+        )
+        config = SimulationConfig(
+            run_length=3 * 3600.0, silent_tail=3600.0,
+            mean_interarrival=60.0, ttl=1800.0, seed=1,
+            heavy_hmac_iterations=2,
+        )
+        results = Simulation(
+            st.trace, G2GEpidemicForwarding(), config, strategies=strategies
+        ).run()
+        assert results.detection_rate(bad) > 0
+        assert results.false_positives(bad) == set()
+
+
+class TestMobilityProperties:
+    """Hypothesis: positions bounded, contacts symmetric-free, repeatable."""
+
+    def test_positions_stay_in_area(self):
+        from repro.traces.mobility import MobilitySimulator
+
+        config = tiny_config(duration=600.0)
+        sim = MobilitySimulator(config, seed=9)
+        for t in range(0, 600, 10):
+            for node in range(config.num_nodes):
+                sim._advance(node, float(t), config.time_step)
+        for motion in sim._motions.values():
+            assert -1.0 <= motion.x <= config.area_side + 1.0
+            assert -1.0 <= motion.y <= config.area_side + 1.0
+
+    def test_no_self_contacts(self):
+        st = simulate_mobility(tiny_config(), seed=11)
+        assert all(c.a != c.b for c in st.trace)
+
+    def test_contacts_sorted_and_disjoint_per_pair(self):
+        from repro.traces.stats import pairwise_contacts
+
+        st = simulate_mobility(tiny_config(), seed=11)
+        for contacts in pairwise_contacts(st.trace).values():
+            for prev, nxt in zip(contacts, contacts[1:]):
+                assert nxt.start >= prev.end
+
+    def test_larger_radio_range_more_contact_time(self):
+        small = simulate_mobility(tiny_config(radio_range=20.0), seed=3)
+        large = simulate_mobility(tiny_config(radio_range=80.0), seed=3)
+        total_small = sum(c.duration for c in small.trace)
+        total_large = sum(c.duration for c in large.trace)
+        assert total_large > total_small

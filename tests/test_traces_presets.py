@@ -1,0 +1,83 @@
+"""Tests for the calibrated Infocom 05 / Cambridge 06 stand-ins."""
+
+import pytest
+
+from repro.traces import (
+    DELEGATION_TTL,
+    EPIDEMIC_TTL,
+    QUALITY_TIMEFRAME,
+    TraceProfile,
+    cambridge06,
+    infocom05,
+    standard_window,
+    trace_by_name,
+)
+
+
+class TestPaperConstants:
+    def test_epidemic_ttls(self):
+        assert EPIDEMIC_TTL["infocom05"] == 30 * 60.0
+        assert EPIDEMIC_TTL["cambridge06"] == 35 * 60.0
+
+    def test_delegation_ttls(self):
+        assert DELEGATION_TTL["infocom05"] == 45 * 60.0
+        assert DELEGATION_TTL["cambridge06"] == 75 * 60.0
+
+    def test_quality_timeframe(self):
+        assert QUALITY_TIMEFRAME == 34 * 60.0
+
+
+class TestInfocom:
+    @pytest.fixture(scope="class")
+    def st(self):
+        return infocom05()
+
+    def test_node_count_matches_paper(self, st):
+        assert st.trace.num_nodes == 41
+
+    def test_duration_about_three_days(self, st):
+        assert st.config.duration == pytest.approx(3 * 86_400.0)
+
+    def test_deterministic(self, st):
+        assert infocom05().trace.contacts == st.trace.contacts
+
+    def test_window_is_active(self, st):
+        window = standard_window(st)
+        sliced = window.slice(st.trace)
+        assert len(sliced) > 500  # a busy conference afternoon
+
+
+class TestCambridge:
+    @pytest.fixture(scope="class")
+    def st(self):
+        return cambridge06()
+
+    def test_node_count_matches_paper(self, st):
+        assert st.trace.num_nodes == 36
+
+    def test_duration_eleven_days(self, st):
+        assert st.config.duration == pytest.approx(11 * 86_400.0)
+
+    def test_sparser_than_infocom(self, st):
+        cam = TraceProfile.of(standard_window(st).slice(st.trace))
+        inf_st = infocom05()
+        inf = TraceProfile.of(standard_window(inf_st).slice(inf_st.trace))
+        assert (
+            cam.mean_contacts_per_hour_per_node
+            < inf.mean_contacts_per_hour_per_node
+        )
+
+
+class TestDispatch:
+    def test_by_name(self):
+        assert trace_by_name("infocom05").trace.num_nodes == 41
+        assert trace_by_name("cambridge06").trace.num_nodes == 36
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            trace_by_name("mit_reality")
+
+    def test_seed_selects_replica(self):
+        a = trace_by_name("infocom05", seed=0)
+        b = trace_by_name("infocom05", seed=1)
+        assert a.trace.contacts != b.trace.contacts

@@ -1,0 +1,153 @@
+"""Tests for the contact-trace data model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.traces import Contact, ContactTrace, make_contact, merge_traces
+
+
+class TestContact:
+    def test_normalized_order(self):
+        c = make_contact(5, 2, 0.0, 10.0)
+        assert (c.a, c.b) == (2, 5)
+
+    def test_duration(self):
+        assert make_contact(0, 1, 5.0, 25.0).duration == 20.0
+
+    def test_self_contact_rejected(self):
+        with pytest.raises(ValueError):
+            make_contact(3, 3, 0.0, 1.0)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            make_contact(0, 1, 5.0, 5.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            make_contact(0, 1, 5.0, 4.0)
+
+    def test_other(self):
+        c = make_contact(0, 1, 0.0, 1.0)
+        assert c.other(0) == 1
+        assert c.other(1) == 0
+
+    def test_other_unknown_raises(self):
+        with pytest.raises(ValueError):
+            make_contact(0, 1, 0.0, 1.0).other(9)
+
+    def test_involves(self):
+        c = make_contact(0, 1, 0.0, 1.0)
+        assert c.involves(0) and c.involves(1) and not c.involves(2)
+
+    def test_overlaps(self):
+        c = make_contact(0, 1, 10.0, 20.0)
+        assert c.overlaps(15.0, 30.0)
+        assert c.overlaps(0.0, 11.0)
+        assert not c.overlaps(20.0, 30.0)  # half-open
+        assert not c.overlaps(0.0, 10.0)
+
+    def test_pair(self):
+        assert make_contact(4, 2, 0.0, 1.0).pair == frozenset((2, 4))
+
+
+class TestContactTrace:
+    def test_contacts_sorted(self):
+        trace = ContactTrace(
+            name="t",
+            nodes=(0, 1, 2),
+            contacts=(
+                make_contact(1, 2, 50.0, 60.0),
+                make_contact(0, 1, 10.0, 20.0),
+            ),
+        )
+        assert [c.start for c in trace.contacts] == [10.0, 50.0]
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ValueError):
+            ContactTrace(
+                name="t",
+                nodes=(0, 1),
+                contacts=(make_contact(0, 5, 0.0, 1.0),),
+            )
+
+    def test_times(self, pair_trace):
+        assert pair_trace.start_time == 100.0
+        assert pair_trace.end_time == 3100.0
+        assert pair_trace.duration == 3000.0
+
+    def test_empty_trace_times(self):
+        trace = ContactTrace(name="e", nodes=(0, 1), contacts=())
+        assert trace.start_time == 0.0
+        assert trace.duration == 0.0
+
+    def test_len_and_iter(self, pair_trace):
+        assert len(pair_trace) == 3
+        assert len(list(pair_trace)) == 3
+
+    def test_contacts_of(self, line_trace):
+        assert len(line_trace.contacts_of(1)) == 4
+        assert len(line_trace.contacts_of(3)) == 1
+
+    def test_contacts_of_isolated_node(self):
+        trace = ContactTrace(
+            name="t", nodes=(0, 1, 9), contacts=(make_contact(0, 1, 0.0, 1.0),)
+        )
+        assert list(trace.contacts_of(9)) == []
+
+    def test_window_shifts_times(self, pair_trace):
+        w = pair_trace.window(500.0, 3500.0)
+        assert [c.start for c in w.contacts] == [500.0, 2500.0]
+
+    def test_window_truncates_straddlers(self):
+        trace = ContactTrace(
+            name="t", nodes=(0, 1), contacts=(make_contact(0, 1, 0.0, 100.0),)
+        )
+        w = trace.window(50.0, 80.0)
+        assert w.contacts[0].start == 0.0
+        assert w.contacts[0].end == 30.0
+
+    def test_window_preserves_universe(self, pair_trace):
+        w = pair_trace.window(0.0, 50.0)
+        assert w.nodes == pair_trace.nodes
+        assert len(w) == 0
+
+    def test_empty_window_rejected(self, pair_trace):
+        with pytest.raises(ValueError):
+            pair_trace.window(100.0, 100.0)
+
+    def test_restricted_to(self, line_trace):
+        r = line_trace.restricted_to((0, 1, 2))
+        assert r.nodes == (0, 1, 2)
+        assert all(c.a in (0, 1, 2) and c.b in (0, 1, 2) for c in r)
+        assert len(r) == 4
+
+    def test_merge(self, pair_trace, line_trace):
+        merged = merge_traces("m", [pair_trace, line_trace])
+        assert merged.num_nodes == 4
+        assert len(merged) == len(pair_trace) + len(line_trace)
+
+    def test_nodes_deduplicated_and_sorted(self):
+        trace = ContactTrace(name="t", nodes=(3, 1, 3, 2), contacts=())
+        assert trace.nodes == (1, 2, 3)
+
+
+@given(
+    start=st.floats(0, 1000),
+    length=st.floats(1, 1000),
+    wstart=st.floats(0, 2000),
+    wlen=st.floats(1, 2000),
+)
+def test_window_invariants(start, length, wstart, wlen):
+    """Windowing never produces out-of-range or inverted contacts."""
+    trace = ContactTrace(
+        name="t",
+        nodes=(0, 1),
+        contacts=(make_contact(0, 1, start, start + length),),
+    )
+    wend = wstart + wlen
+    w = trace.window(wstart, wend)
+    for c in w.contacts:
+        # The window guarantee: all clipped contacts lie in
+        # [0, end - start] of the shifted time axis.
+        assert 0.0 <= c.start < c.end <= wend - wstart

@@ -1,0 +1,93 @@
+"""Tests for trace validation and repair."""
+
+import pytest
+
+from repro.traces import ContactTrace, make_contact
+from repro.traces.validate import repair_trace, validate_trace
+
+
+def trace_of(*contacts, nodes=(0, 1, 2)):
+    return ContactTrace(name="v", nodes=nodes, contacts=tuple(contacts))
+
+
+class TestValidation:
+    def test_clean_trace(self, pair_trace):
+        assert validate_trace(pair_trace) == []
+
+    def test_blip_flagged(self):
+        trace = trace_of(make_contact(0, 1, 10.0, 10.5))
+        issues = validate_trace(trace, min_duration=1.0)
+        assert [i.kind for i in issues] == ["blip"]
+        assert issues[0].pair == frozenset((0, 1))
+
+    def test_overlap_flagged(self):
+        trace = trace_of(
+            make_contact(0, 1, 10.0, 50.0),
+            make_contact(0, 1, 40.0, 80.0),
+        )
+        issues = validate_trace(trace)
+        assert any(i.kind == "overlap" for i in issues)
+
+    def test_gap_outlier_flagged(self):
+        contacts = [
+            make_contact(0, 1, t, t + 10.0) for t in range(0, 500, 100)
+        ]
+        contacts.append(make_contact(0, 1, 1_000_000.0, 1_000_010.0))
+        issues = validate_trace(trace_of(*contacts))
+        assert any(i.kind == "gap_outlier" for i in issues)
+
+    def test_regular_gaps_clean(self):
+        contacts = [
+            make_contact(0, 1, float(t), t + 10.0)
+            for t in range(0, 1000, 100)
+        ]
+        assert validate_trace(trace_of(*contacts)) == []
+
+
+class TestRepair:
+    def test_merges_overlaps(self):
+        trace = trace_of(
+            make_contact(0, 1, 10.0, 50.0),
+            make_contact(0, 1, 40.0, 80.0),
+        )
+        repaired = repair_trace(trace)
+        assert len(repaired) == 1
+        assert repaired.contacts[0].start == 10.0
+        assert repaired.contacts[0].end == 80.0
+
+    def test_merges_touching(self):
+        trace = trace_of(
+            make_contact(0, 1, 10.0, 50.0),
+            make_contact(0, 1, 50.0, 80.0),
+        )
+        assert len(repair_trace(trace)) == 1
+
+    def test_drops_blips(self):
+        trace = trace_of(
+            make_contact(0, 1, 10.0, 10.2),
+            make_contact(0, 1, 100.0, 200.0),
+        )
+        repaired = repair_trace(trace, min_duration=1.0)
+        assert len(repaired) == 1
+        assert repaired.contacts[0].duration == 100.0
+
+    def test_preserves_universe(self):
+        trace = trace_of(make_contact(0, 1, 10.0, 10.2), nodes=(0, 1, 9))
+        repaired = repair_trace(trace)
+        assert repaired.nodes == (0, 1, 9)
+
+    def test_repaired_trace_validates_clean(self):
+        trace = trace_of(
+            make_contact(0, 1, 10.0, 50.0),
+            make_contact(0, 1, 40.0, 80.0),
+            make_contact(1, 2, 5.0, 5.1),
+        )
+        repaired = repair_trace(trace)
+        assert validate_trace(repaired) == []
+
+    def test_independent_pairs_untouched(self):
+        trace = trace_of(
+            make_contact(0, 1, 10.0, 50.0),
+            make_contact(1, 2, 40.0, 80.0),  # different pair: no overlap
+        )
+        assert len(repair_trace(trace)) == 2

@@ -1,0 +1,76 @@
+"""Tests for evaluation-window selection."""
+
+from repro.traces import (
+    ContactTrace,
+    EvaluationWindow,
+    SILENT_TAIL,
+    STANDARD_WINDOW,
+    active_windows,
+    busiest_window,
+    make_contact,
+)
+
+
+def clustered_trace():
+    """Activity concentrated between t=10000 and t=14000."""
+    contacts = [make_contact(0, 1, 100.0, 150.0)]
+    t = 10_000.0
+    for i in range(30):
+        contacts.append(make_contact(i % 3, (i + 1) % 3 + 1, t, t + 50.0))
+        t += 120.0
+    return ContactTrace(name="c", nodes=(0, 1, 2, 3), contacts=tuple(contacts))
+
+
+class TestEvaluationWindow:
+    def test_bounds(self):
+        w = EvaluationWindow(start=500.0, length=100.0)
+        assert w.end == 600.0
+        assert w.generation_deadline == 100.0 - SILENT_TAIL
+
+    def test_standard_length(self):
+        assert EvaluationWindow(start=0.0).length == STANDARD_WINDOW
+
+    def test_slice_shifts_origin(self):
+        trace = clustered_trace()
+        w = EvaluationWindow(start=10_000.0, length=5_000.0)
+        sliced = w.slice(trace)
+        assert sliced.start_time >= 0.0
+        assert sliced.end_time <= 5_000.0
+
+
+class TestBusiestWindow:
+    def test_finds_cluster(self):
+        trace = clustered_trace()
+        w = busiest_window(trace, length=4_000.0, step=1_000.0)
+        sliced = w.slice(trace)
+        assert len(sliced) >= 25
+
+    def test_short_trace_returns_full(self):
+        trace = ContactTrace(
+            name="s", nodes=(0, 1), contacts=(make_contact(0, 1, 0.0, 10.0),)
+        )
+        w = busiest_window(trace, length=100_000.0)
+        assert w.start == trace.start_time
+
+
+class TestActiveWindows:
+    def test_threshold_filters(self):
+        trace = clustered_trace()
+        windows = active_windows(
+            trace, length=4_000.0, step=1_000.0, min_contacts=10
+        )
+        assert windows
+        for w in windows:
+            count = sum(
+                1 for c in trace.contacts if c.overlaps(w.start, w.end)
+            )
+            assert count >= 10
+
+    def test_high_threshold_empty(self):
+        trace = clustered_trace()
+        assert (
+            active_windows(
+                trace, length=1_000.0, step=1_000.0, min_contacts=1_000
+            )
+            == []
+        )
