@@ -68,10 +68,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument(
         "name",
-        choices=("fig3", "fig4", "fig5", "fig7", "fig8", "table1"),
+        choices=(
+            "fig3", "fig4", "fig5", "fig7", "fig8", "table1", "ablations",
+        ),
     )
     experiment.add_argument(
         "--full", action="store_true", help="full paper grids (slow)"
+    )
+    experiment.add_argument(
+        "--workers", type=int, default=1,
+        help="simulation worker processes (1 = sequential; parallel "
+        "output is bit-identical to sequential)",
+    )
+    experiment.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="per-run result cache directory "
+        "(default: .repro-cache)",
+    )
+    experiment.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the run cache entirely (no reads, no writes)",
     )
 
     trace = sub.add_parser("trace", help="generate and inspect a trace")
@@ -151,29 +167,59 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def execution_options(args) -> "ExecutionOptions":
+    """Build :class:`ExecutionOptions` from the experiment CLI flags."""
+    from .experiments import ExecutionOptions, RunCache, RunReport
+    from .experiments.cache import DEFAULT_CACHE_DIR
+
+    cache = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or DEFAULT_CACHE_DIR
+        try:
+            cache = RunCache(cache_dir)
+        except OSError as exc:
+            raise SystemExit(
+                f"error: unusable cache directory {cache_dir!r}: {exc}"
+            )
+    return ExecutionOptions(
+        workers=max(1, args.workers), cache=cache, report=RunReport()
+    )
+
+
 def cmd_experiment(args) -> int:
-    from .experiments import fig3, fig4, fig5, fig7, fig8, table1
+    from .experiments import ablations, fig3, fig4, fig5, fig7, fig8, table1
 
     quick = not args.full
+    options = execution_options(args)
     if args.name == "fig3":
-        for figure in fig3.run(quick=quick).values():
+        for figure in fig3.run(quick=quick, options=options).values():
             print(figure.render())
     elif args.name == "fig4":
-        for detection in fig4.run(quick=quick).values():
+        for detection in fig4.run(quick=quick, options=options).values():
             print(detection.figure.render())
             for label, rate in detection.detection_rates.items():
                 print(f"detection probability [{label}]: {rate:.1%}")
     elif args.name == "fig5":
-        for figure in fig5.run(quick=quick).values():
+        for figure in fig5.run(quick=quick, options=options).values():
             print(figure.render())
     elif args.name == "fig7":
-        for figure in fig7.run(quick=quick).values():
+        for figure in fig7.run(quick=quick, options=options).values():
             print(figure.render())
     elif args.name == "fig8":
-        for panel in fig8.run(quick=quick).values():
+        for panel in fig8.run(quick=quick, options=options).values():
             print(panel.render())
+    elif args.name == "ablations":
+        print(ablations.fanout_sweep(options=options).render())
+        print(ablations.delta2_sweep(options=options).render())
+        print(ablations.timeframe_sweep(options=options).render())
+        print(ablations.buffer_capacity_sweep(options=options).render())
     else:
-        print(table1.run(quick=quick).render())
+        print(table1.run(quick=quick, options=options).render())
+    if options.report is not None and options.report.total:
+        cache_note = ""
+        if options.cache is not None:
+            cache_note = f" [cache: {options.cache.stats.summary()}]"
+        print(f"-- {options.report.summary()}{cache_note}")
     return 0
 
 

@@ -6,8 +6,24 @@ with a ``render()`` text form; the benchmark suite under
 """
 
 from . import ablations, fig3, fig4, fig5, fig7, fig8, sweeps, table1
+from .cache import CacheStats, RunCache, run_key
 from .catalog import LABELS, PROTOCOLS, protocol
-from .runner import FigureData, PointResult, ReplicationPlan, Series, run_point
+from .parallel import (
+    ExecutionOptions,
+    RunReport,
+    RunRequest,
+    execute_request,
+    run_requests,
+)
+from .runner import (
+    FigureData,
+    PointResult,
+    ReplicationPlan,
+    Series,
+    point_from_runs,
+    run_point,
+    run_series,
+)
 from .sweeps import RunSpec, SweepRunner, dropper_grid
 from .setting import (
     COMMUNITY_PARAMS,
@@ -20,24 +36,34 @@ from .setting import (
 
 __all__ = [
     "COMMUNITY_PARAMS",
+    "CacheStats",
+    "ExecutionOptions",
     "FigureData",
     "LABELS",
     "PROTOCOLS",
     "PointResult",
     "ReplicationPlan",
+    "RunCache",
+    "RunReport",
+    "RunRequest",
     "Series",
     "TRACES",
     "ablations",
     "adversary_counts",
     "evaluation_community",
     "evaluation_trace",
+    "execute_request",
     "fig3",
     "fig4",
     "fig5",
     "fig7",
     "fig8",
+    "point_from_runs",
     "protocol",
+    "run_key",
     "run_point",
+    "run_requests",
+    "run_series",
     "RunSpec",
     "standard_config",
     "SweepRunner",

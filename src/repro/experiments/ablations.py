@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from .catalog import protocol
+from .parallel import ExecutionOptions
 from .runner import FigureData, ReplicationPlan, Series, run_point
 
 #: Default trace for ablations (the denser one resolves differences
@@ -28,6 +29,7 @@ def fanout_sweep(
     caps=(1, 2, 3, 4),
     trace_name: str = DEFAULT_TRACE,
     plan: Optional[ReplicationPlan] = None,
+    options: Optional[ExecutionOptions] = None,
 ) -> FigureData:
     """Success % and cost of G2G Epidemic as the relay cap varies."""
     if plan is None:
@@ -42,6 +44,7 @@ def fanout_sweep(
             factory,
             plan=plan,
             config_overrides={"relay_fanout": cap},
+            options=options,
         )
         success.add(cap, point.success_percent)
         cost.add(cap, point.cost)
@@ -59,6 +62,7 @@ def delta2_sweep(
     trace_name: str = DEFAULT_TRACE,
     droppers: int = 10,
     plan: Optional[ReplicationPlan] = None,
+    options: Optional[ExecutionOptions] = None,
 ) -> FigureData:
     """Dropper detection rate in G2G Epidemic as Δ2/Δ1 varies.
 
@@ -78,6 +82,7 @@ def delta2_sweep(
             deviation_count=droppers,
             plan=plan,
             config_overrides={"delta2_factor": factor},
+            options=options,
         )
         series.add(factor, 100.0 * point.detection_rate)
     return FigureData(
@@ -94,6 +99,7 @@ def timeframe_sweep(
     trace_name: str = DEFAULT_TRACE,
     liars: int = 10,
     plan: Optional[ReplicationPlan] = None,
+    options: Optional[ExecutionOptions] = None,
 ) -> FigureData:
     """Liar detection in G2G Delegation as the quality frame varies.
 
@@ -114,6 +120,7 @@ def timeframe_sweep(
             deviation_count=liars,
             plan=plan,
             config_overrides={"quality_timeframe": timeframe},
+            options=options,
         )
         series.add(timeframe / 60.0, 100.0 * point.detection_rate)
     return FigureData(
@@ -129,6 +136,7 @@ def buffer_capacity_sweep(
     capacities=(5, 10, 20, 40, None),
     trace_name: str = DEFAULT_TRACE,
     plan: Optional[ReplicationPlan] = None,
+    options: Optional[ExecutionOptions] = None,
 ) -> FigureData:
     """Finite-buffer ablation: delivery and false convictions vs capacity.
 
@@ -150,6 +158,7 @@ def buffer_capacity_sweep(
             factory,
             plan=plan,
             config_overrides={"buffer_capacity": capacity},
+            options=options,
         )
         x = float(capacity) if capacity is not None else 0.0  # 0 = infinite
         delivery.add(x, point.success_percent)
@@ -174,6 +183,7 @@ def testers_comparison(
     trace_name: str = DEFAULT_TRACE,
     droppers: int = 10,
     plan: Optional[ReplicationPlan] = None,
+    options: Optional[ExecutionOptions] = None,
 ) -> Dict[str, float]:
     """Who audits: the paper's source-only tests vs every-giver tests.
 
@@ -198,6 +208,7 @@ def testers_comparison(
             deviation="dropper",
             deviation_count=droppers,
             plan=plan,
+            options=options,
         )
         out[f"{mode}_detection_rate"] = point.detection_rate
         out[f"{mode}_detection_minutes"] = point.detection_delay / 60.0
@@ -212,6 +223,7 @@ def blacklist_comparison(
     trace_name: str = DEFAULT_TRACE,
     droppers: int = 10,
     plan: Optional[ReplicationPlan] = None,
+    options: Optional[ExecutionOptions] = None,
 ) -> Dict[str, float]:
     """Dropper detection with instant broadcast vs gossip dissemination.
 
@@ -234,6 +246,7 @@ def blacklist_comparison(
             deviation_count=droppers,
             plan=plan,
             config_overrides={"instant_blacklist": instant},
+            options=options,
         )
         out[f"{label}_detection_rate"] = point.detection_rate
         out[f"{label}_detection_minutes"] = point.detection_delay / 60.0

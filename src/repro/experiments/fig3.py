@@ -12,7 +12,8 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from .catalog import protocol
-from .runner import FigureData, ReplicationPlan, Series, run_point
+from .parallel import ExecutionOptions
+from .runner import FigureData, ReplicationPlan, Series, run_series
 from .setting import TRACES, adversary_counts
 
 #: The two plotted selfishness variants.
@@ -24,7 +25,9 @@ VARIANT_LABELS = {
 
 
 def run(
-    quick: bool = False, plan: Optional[ReplicationPlan] = None
+    quick: bool = False,
+    plan: Optional[ReplicationPlan] = None,
+    options: Optional[ExecutionOptions] = None,
 ) -> Dict[str, FigureData]:
     """Reproduce Fig. 3; one :class:`FigureData` per trace."""
     if plan is None:
@@ -40,15 +43,15 @@ def run(
         )
         for variant in VARIANTS:
             series = Series(label=VARIANT_LABELS[variant])
-            for count in adversary_counts(trace_name, quick):
-                point = run_point(
-                    trace_name,
-                    family,
-                    factory,
-                    deviation=variant if count else None,
-                    deviation_count=count,
-                    plan=plan,
-                )
+            for count, point in run_series(
+                trace_name,
+                family,
+                factory,
+                adversary_counts(trace_name, quick),
+                deviation=variant,
+                plan=plan,
+                options=options,
+            ):
                 series.add(count, point.success_percent)
             figure.series.append(series)
         figures[trace_name] = figure

@@ -13,7 +13,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from .catalog import protocol
-from .runner import FigureData, ReplicationPlan, Series, run_point
+from .parallel import ExecutionOptions
+from .runner import FigureData, ReplicationPlan, Series, run_series
 from .setting import TRACES, adversary_counts
 
 VARIANTS = ("dropper", "dropper_with_outsiders")
@@ -33,7 +34,9 @@ class DetectionFigure:
 
 
 def run(
-    quick: bool = False, plan: Optional[ReplicationPlan] = None
+    quick: bool = False,
+    plan: Optional[ReplicationPlan] = None,
+    options: Optional[ExecutionOptions] = None,
 ) -> Dict[str, DetectionFigure]:
     """Reproduce Fig. 4; one :class:`DetectionFigure` per trace."""
     if plan is None:
@@ -51,19 +54,19 @@ def run(
             y_label="Average detection time after Δ1 (minutes)",
         )
         rates: Dict[str, list] = {v: [] for v in VARIANTS}
+        # no droppers, nothing to detect: skip the zero-count point
+        counts = [c for c in adversary_counts(trace_name, quick) if c]
         for variant in VARIANTS:
             series = Series(label=VARIANT_LABELS[variant])
-            for count in adversary_counts(trace_name, quick):
-                if count == 0:
-                    continue  # no droppers, nothing to detect
-                point = run_point(
-                    trace_name,
-                    family,
-                    factory,
-                    deviation=variant,
-                    deviation_count=count,
-                    plan=plan,
-                )
+            for count, point in run_series(
+                trace_name,
+                family,
+                factory,
+                counts,
+                deviation=variant,
+                plan=plan,
+                options=options,
+            ):
                 series.add(count, point.detection_delay_after_ttl / 60.0)
                 rates[variant].append(point.detection_rate)
             figure.series.append(series)

@@ -12,7 +12,8 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from .catalog import protocol
-from .runner import FigureData, ReplicationPlan, Series, run_point
+from .parallel import ExecutionOptions
+from .runner import FigureData, ReplicationPlan, Series, run_series
 from .setting import TRACES, adversary_counts
 
 #: panel -> (deviation kinds plotted, x-axis label)
@@ -30,7 +31,9 @@ LABELS = {
 
 
 def run(
-    quick: bool = False, plan: Optional[ReplicationPlan] = None
+    quick: bool = False,
+    plan: Optional[ReplicationPlan] = None,
+    options: Optional[ExecutionOptions] = None,
 ) -> Dict[Tuple[str, str], FigureData]:
     """Reproduce Fig. 5; keyed by ``(panel, trace)``."""
     if plan is None:
@@ -50,15 +53,15 @@ def run(
             )
             for kind in kinds:
                 series = Series(label=LABELS[kind])
-                for count in adversary_counts(trace_name, quick):
-                    point = run_point(
-                        trace_name,
-                        family,
-                        factory,
-                        deviation=kind if count else None,
-                        deviation_count=count,
-                        plan=plan,
-                    )
+                for count, point in run_series(
+                    trace_name,
+                    family,
+                    factory,
+                    adversary_counts(trace_name, quick),
+                    deviation=kind,
+                    plan=plan,
+                    options=options,
+                ):
                     series.add(count, point.success_percent)
                 figure.series.append(series)
             figures[(panel, trace_name)] = figure

@@ -13,13 +13,16 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from .catalog import protocol
-from .runner import FigureData, ReplicationPlan, Series, run_point
+from .parallel import ExecutionOptions
+from .runner import FigureData, ReplicationPlan, Series, run_series
 from .setting import TRACES, adversary_counts
 from .table1 import ADVERSARY_KINDS, ROW_LABELS
 
 
 def run(
-    quick: bool = False, plan: Optional[ReplicationPlan] = None
+    quick: bool = False,
+    plan: Optional[ReplicationPlan] = None,
+    options: Optional[ExecutionOptions] = None,
 ) -> Dict[str, FigureData]:
     """Reproduce Fig. 7; one :class:`FigureData` per trace."""
     if plan is None:
@@ -41,19 +44,18 @@ def run(
             x_label="Number",
             y_label="Average detection time (minutes)",
         )
+        counts = [c for c in adversary_counts(trace_name, quick) if c]
         for kind in kinds:
             series = Series(label=ROW_LABELS[kind])
-            for count in adversary_counts(trace_name, quick):
-                if count == 0:
-                    continue
-                point = run_point(
-                    trace_name,
-                    family,
-                    factory,
-                    deviation=kind,
-                    deviation_count=count,
-                    plan=plan,
-                )
+            for count, point in run_series(
+                trace_name,
+                family,
+                factory,
+                counts,
+                deviation=kind,
+                plan=plan,
+                options=options,
+            ):
                 series.add(count, point.detection_delay / 60.0)
             figure.series.append(series)
         figures[trace_name] = figure

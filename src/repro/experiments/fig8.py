@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from .catalog import LABELS, PROTOCOLS
+from .parallel import ExecutionOptions
 from .runner import PointResult, ReplicationPlan, run_point
 from .setting import TRACES
 
@@ -95,7 +96,9 @@ PAIRINGS = (
 
 
 def run(
-    quick: bool = False, plan: Optional[ReplicationPlan] = None
+    quick: bool = False,
+    plan: Optional[ReplicationPlan] = None,
+    options: Optional[ExecutionOptions] = None,
 ) -> Dict[str, Fig8Panel]:
     """Reproduce Fig. 8; one :class:`Fig8Panel` per trace."""
     if plan is None:
@@ -105,7 +108,8 @@ def run(
         panel = Fig8Panel(trace=trace_name)
         for name, (family, factory) in PROTOCOLS.items():
             point: PointResult = run_point(
-                trace_name, family, factory, plan=plan
+                trace_name, family, factory, plan=plan,
+                options=options, protocol_name=name,
             )
             panel.points.append(
                 ProtocolPoint(

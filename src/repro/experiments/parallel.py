@@ -1,0 +1,268 @@
+"""Parallel execution of independent simulation runs.
+
+Every paper figure is a grid of *independently seeded* simulations —
+embarrassingly parallel work the sequential runner left on the table.
+This module fans a batch of :class:`RunRequest` grid points out over a
+``ProcessPoolExecutor`` and merges the results back **in request
+order**, so parallel and sequential execution produce bit-identical
+output; ``workers=1`` is exactly the old in-process path.
+
+An optional :class:`~repro.experiments.cache.RunCache` is consulted
+before any run executes and written after each successful run, so a
+warm cache short-circuits the whole batch.  Cache writes happen only
+in the parent process and only for runs that completed — a worker
+crash surfaces its exception (the first one in request order, after
+the rest of the batch drains) without hanging the pool or leaving a
+partial cache entry behind.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..adversaries.factory import strategy_population
+from ..sim.config import SimulationConfig, config_for
+from ..sim.engine import Simulation
+from ..sim.results import SimulationResults
+from .cache import RunCache, run_key
+from .catalog import protocol
+from .setting import evaluation_community, evaluation_trace
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One simulation run, fully described by picklable values.
+
+    Attributes:
+        trace_name: "infocom05" or "cambridge06".
+        family: TTL family, "epidemic" or "delegation".
+        protocol_name: a :data:`repro.experiments.catalog.PROTOCOLS`
+            name — the worker rebuilds the factory from it, and the
+            cache keys on it.  None marks an ad-hoc factory that can
+            only run in-process (and uncached).
+        seed: replication seed (traffic, crypto, adversary placement).
+        deviation: adversary kind, or None for all-honest.
+        deviation_count: how many nodes deviate.
+        overrides: sorted ``(field, value)`` pairs of
+            :class:`~repro.sim.config.SimulationConfig` overrides,
+            kept as a tuple so requests stay hashable and picklable.
+    """
+
+    trace_name: str
+    family: str
+    protocol_name: Optional[str]
+    seed: int
+    deviation: Optional[str] = None
+    deviation_count: int = 0
+    overrides: Tuple[Tuple[str, object], ...] = ()
+
+    def config(self) -> SimulationConfig:
+        """The run's full simulation configuration."""
+        return config_for(
+            self.trace_name,
+            self.family,
+            seed=self.seed,
+            **dict(self.overrides),
+        )
+
+    def cache_key(self) -> Optional[str]:
+        """Content hash for the run cache (None for ad-hoc factories)."""
+        if self.protocol_name is None:
+            return None
+        return run_key(
+            trace_name=self.trace_name,
+            family=self.family,
+            protocol_name=self.protocol_name,
+            deviation=self.deviation,
+            deviation_count=self.deviation_count,
+            seed=self.seed,
+            config=self.config(),
+        )
+
+    def misbehaving(self) -> Tuple[int, ...]:
+        """The deterministic set of deviating nodes for this run."""
+        if self.deviation is None or self.deviation_count <= 0:
+            return ()
+        trace = evaluation_trace(self.trace_name)
+        community = evaluation_community(self.trace_name)
+        _, misbehaving = strategy_population(
+            trace.nodes,
+            self.deviation,
+            self.deviation_count,
+            seed=self.seed,
+            community=community,
+        )
+        return misbehaving
+
+
+def execute_request(
+    request: RunRequest,
+    factory: Optional[Callable[[], object]] = None,
+) -> SimulationResults:
+    """Run one request to completion (the worker-side entry point).
+
+    Args:
+        request: the run description.
+        factory: explicit protocol factory for ad-hoc requests; by
+            default the factory is resolved from the catalog by
+            ``request.protocol_name``.
+    """
+    if factory is None:
+        if request.protocol_name is None:
+            raise ValueError(
+                "ad-hoc RunRequest needs an explicit protocol factory"
+            )
+        _, factory = protocol(request.protocol_name)
+    trace = evaluation_trace(request.trace_name)
+    community = evaluation_community(request.trace_name)
+    config = request.config()
+    strategies = None
+    if request.deviation is not None and request.deviation_count > 0:
+        strategies, _ = strategy_population(
+            trace.nodes,
+            request.deviation,
+            request.deviation_count,
+            seed=request.seed,
+            community=community,
+        )
+    return Simulation(
+        trace,
+        factory(),
+        config,
+        strategies=strategies,
+        community=community,
+    ).run()
+
+
+@dataclass
+class RunReport:
+    """Progress/timing accounting for one experiment invocation."""
+
+    executed: int = 0
+    cached: int = 0
+    seconds: float = 0.0
+
+    @property
+    def total(self) -> int:
+        """Total runs satisfied (simulated plus cache hits)."""
+        return self.executed + self.cached
+
+    def summary(self) -> str:
+        """One-line human rendering for the CLI."""
+        return (
+            f"{self.total} runs: {self.executed} simulated, "
+            f"{self.cached} cache hits, {self.seconds:.1f}s wall"
+        )
+
+
+@dataclass
+class ExecutionOptions:
+    """How a batch of runs executes: worker count, cache, reporting.
+
+    Attributes:
+        workers: process count; 1 (default) runs in-process on the
+            exact sequential path.
+        cache: optional :class:`RunCache`; None disables both reads
+            and writes (the CLI's ``--no-cache``).
+        report: optional accumulator; one report can span several
+            experiment modules (the CLI threads a single one through
+            a whole figure).
+        on_progress: optional callback fired after each satisfied run
+            with ``(done, total, was_cached)``.
+    """
+
+    workers: int = 1
+    cache: Optional[RunCache] = None
+    report: Optional[RunReport] = None
+    on_progress: Optional[Callable[[int, int, bool], None]] = None
+
+    def _tick(self, done: int, total: int, was_cached: bool) -> None:
+        if self.on_progress is not None:
+            self.on_progress(done, total, was_cached)
+
+
+def run_requests(
+    requests: Sequence[RunRequest],
+    options: Optional[ExecutionOptions] = None,
+) -> List[SimulationResults]:
+    """Execute a batch of requests, returning results in request order.
+
+    Cache hits are satisfied first; the remainder runs in-process
+    (``workers <= 1``) or on a process pool.  Output is deterministic:
+    ``results[i]`` always corresponds to ``requests[i]``, whatever the
+    completion order, so parallel and sequential runs are
+    bit-identical.
+
+    Raises:
+        Exception: the first (in request order) worker exception, after
+            every other run in the batch has drained — the pool never
+            hangs and successful runs are still cached.
+    """
+    if options is None:
+        options = ExecutionOptions()
+    started = time.perf_counter()
+    total = len(requests)
+    results: List[Optional[SimulationResults]] = [None] * total
+    keys: List[Optional[str]] = [r.cache_key() for r in requests]
+    pending: List[int] = []
+    done = 0
+    cached = 0
+    for i, request in enumerate(requests):
+        hit = None
+        if options.cache is not None and keys[i] is not None:
+            hit = options.cache.get(keys[i])
+        if hit is not None:
+            results[i] = hit
+            cached += 1
+            done += 1
+            options._tick(done, total, True)
+        else:
+            pending.append(i)
+
+    def store(i: int, result: SimulationResults) -> None:
+        nonlocal done
+        results[i] = result
+        if options.cache is not None and keys[i] is not None:
+            options.cache.put(keys[i], result)
+        done += 1
+        options._tick(done, total, False)
+
+    try:
+        if options.workers <= 1 or len(pending) <= 1:
+            for i in pending:
+                store(i, execute_request(requests[i]))
+        else:
+            # Warm the trace/community caches in the parent first:
+            # fork-started workers then inherit the built artifacts
+            # instead of each re-running community detection.
+            for trace_name in sorted(
+                {requests[i].trace_name for i in pending}
+            ):
+                evaluation_trace(trace_name)
+                evaluation_community(trace_name)
+            workers = min(options.workers, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    i: pool.submit(execute_request, requests[i])
+                    for i in pending
+                }
+                error: Optional[BaseException] = None
+                for i in pending:
+                    try:
+                        result = futures[i].result()
+                    except BaseException as exc:
+                        if error is None:
+                            error = exc
+                        continue
+                    store(i, result)
+                if error is not None:
+                    raise error
+    finally:
+        if options.report is not None:
+            options.report.executed += done - cached
+            options.report.cached += cached
+            options.report.seconds += time.perf_counter() - started
+    return results

@@ -4,7 +4,13 @@ An experiment is a grid of simulation runs; each grid point averages a
 few re-seeded runs.  :func:`run_point` executes one point given a
 protocol factory and an adversary specification, and returns the
 averaged metrics the paper plots (success %, delay, cost, detection
-rate, detection time).
+rate, detection time).  :func:`run_series` executes a whole sweep of
+points as one flat batch, so a process pool can overlap runs *across*
+grid points, not just within one.
+
+Both accept :class:`~repro.experiments.parallel.ExecutionOptions` to
+select worker count and result caching; the default (no options) is
+the sequential, uncached path.
 """
 
 from __future__ import annotations
@@ -14,15 +20,15 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..adversaries.factory import strategy_population
-from ..sim.engine import Simulation
 from ..sim.results import SimulationResults
-from .setting import (
-    ReplicationPlan,
-    evaluation_community,
-    evaluation_trace,
-    standard_config,
+from .catalog import PROTOCOLS
+from .parallel import (
+    ExecutionOptions,
+    RunRequest,
+    execute_request,
+    run_requests,
 )
+from .setting import ReplicationPlan
 
 #: A protocol factory: builds a *fresh* protocol instance per run.
 ProtocolFactory = Callable[[], object]
@@ -52,6 +58,86 @@ class PointResult:
         return 100.0 * self.success_rate
 
 
+def protocol_name_for(protocol_factory: ProtocolFactory) -> Optional[str]:
+    """Reverse-lookup a factory's catalog name (None for ad-hoc ones).
+
+    The catalog stores one factory object per protocol, so identity
+    comparison is exact; a name is what lets a run ship to a worker
+    process and key the result cache.
+    """
+    for name, (_, factory) in PROTOCOLS.items():
+        if factory is protocol_factory:
+            return name
+    return None
+
+
+def point_from_runs(
+    runs: Sequence[SimulationResults],
+    misbehaving_sets: Sequence[Tuple[int, ...]],
+) -> PointResult:
+    """Aggregate per-run results into one :class:`PointResult`.
+
+    All means derive directly from ``runs`` — no mutable accumulators —
+    so the aggregation is independent of *how* (and in what order) the
+    runs were executed.
+    """
+    adversarial = [
+        (run, misbehaving)
+        for run, misbehaving in zip(runs, misbehaving_sets)
+        if misbehaving
+    ]
+    det_rates = [run.detection_rate(m) for run, m in adversarial]
+    det_delays = [
+        run.mean_offender_detection_delay()
+        for run, _ in adversarial
+        if run.detections
+    ]
+    det_delays_ttl = [
+        run.mean_detection_delay() for run, _ in adversarial if run.detections
+    ]
+    return PointResult(
+        success_rate=float(np.mean([r.success_rate for r in runs])),
+        mean_delay=float(np.mean([r.mean_delay for r in runs])),
+        cost=float(np.mean([r.cost for r in runs])),
+        memory_byte_seconds=float(
+            np.mean([r.total_memory_byte_seconds for r in runs])
+        ),
+        detection_rate=float(np.mean(det_rates)) if det_rates else 0.0,
+        detection_delay=float(np.mean(det_delays)) if det_delays else 0.0,
+        detection_delay_after_ttl=(
+            float(np.mean(det_delays_ttl)) if det_delays_ttl else 0.0
+        ),
+        false_positives=sum(
+            len(run.false_positives(m)) for run, m in adversarial
+        ),
+        runs=list(runs),
+    )
+
+
+def _requests_for_point(
+    trace_name: str,
+    family: str,
+    protocol_name: Optional[str],
+    deviation: Optional[str],
+    deviation_count: int,
+    plan: ReplicationPlan,
+    config_overrides: Optional[Dict[str, object]],
+) -> List[RunRequest]:
+    overrides = tuple(sorted((config_overrides or {}).items()))
+    return [
+        RunRequest(
+            trace_name=trace_name,
+            family=family,
+            protocol_name=protocol_name,
+            seed=seed,
+            deviation=deviation if deviation_count > 0 else None,
+            deviation_count=deviation_count if deviation else 0,
+            overrides=overrides,
+        )
+        for seed in plan.seeds
+    ]
+
+
 def run_point(
     trace_name: str,
     family: str,
@@ -60,6 +146,8 @@ def run_point(
     deviation_count: int = 0,
     plan: Optional[ReplicationPlan] = None,
     config_overrides: Optional[Dict[str, object]] = None,
+    options: Optional[ExecutionOptions] = None,
+    protocol_name: Optional[str] = None,
 ) -> PointResult:
     """Run one grid point and average the replications.
 
@@ -72,67 +160,79 @@ def run_point(
         deviation_count: how many nodes deviate.
         plan: replication plan (defaults to the standard 3 seeds).
         config_overrides: optional :class:`SimulationConfig` overrides.
+        options: worker count and cache; defaults to sequential and
+            uncached.
+        protocol_name: catalog name of the factory; resolved by
+            identity when omitted.  Factories not in the catalog run
+            in-process and uncached regardless of ``options``.
     """
-    import dataclasses
-
     if plan is None:
         plan = ReplicationPlan()
-    trace = evaluation_trace(trace_name)
-    community = evaluation_community(trace_name)
-    runs: List[SimulationResults] = []
-    rates: List[float] = []
-    delays: List[float] = []
-    costs: List[float] = []
-    memories: List[float] = []
-    det_rates: List[float] = []
-    det_delays: List[float] = []
-    det_delays_ttl: List[float] = []
-    false_pos = 0
-    for seed in plan.seeds:
-        config = standard_config(trace_name, family, seed)
-        if config_overrides:
-            config = dataclasses.replace(config, **config_overrides)
-        strategies = None
-        misbehaving: Tuple[int, ...] = ()
-        if deviation is not None and deviation_count > 0:
-            strategies, misbehaving = strategy_population(
-                trace.nodes,
-                deviation,
-                deviation_count,
-                seed=seed,
-                community=community,
-            )
-        result = Simulation(
-            trace,
-            protocol_factory(),
-            config,
-            strategies=strategies,
-            community=community,
-        ).run()
-        runs.append(result)
-        rates.append(result.success_rate)
-        delays.append(result.mean_delay)
-        costs.append(result.cost)
-        memories.append(result.total_memory_byte_seconds)
-        if misbehaving:
-            det_rates.append(result.detection_rate(misbehaving))
-            if result.detections:
-                det_delays.append(result.mean_offender_detection_delay())
-                det_delays_ttl.append(result.mean_detection_delay())
-            false_pos += len(result.false_positives(misbehaving))
-    return PointResult(
-        success_rate=float(np.mean(rates)),
-        mean_delay=float(np.mean(delays)),
-        cost=float(np.mean(costs)),
-        memory_byte_seconds=float(np.mean(memories)),
-        detection_rate=float(np.mean(det_rates)) if det_rates else 0.0,
-        detection_delay=float(np.mean(det_delays)) if det_delays else 0.0,
-        detection_delay_after_ttl=(
-            float(np.mean(det_delays_ttl)) if det_delays_ttl else 0.0
-        ),
-        false_positives=false_pos,
-        runs=runs,
+    if protocol_name is None:
+        protocol_name = protocol_name_for(protocol_factory)
+    requests = _requests_for_point(
+        trace_name, family, protocol_name,
+        deviation, deviation_count, plan, config_overrides,
     )
+    if protocol_name is None:
+        runs: List[SimulationResults] = [
+            execute_request(request, factory=protocol_factory)
+            for request in requests
+        ]
+    else:
+        runs = run_requests(requests, options)
+    return point_from_runs(runs, [r.misbehaving() for r in requests])
+
+
+def run_series(
+    trace_name: str,
+    family: str,
+    protocol_factory: ProtocolFactory,
+    counts: Sequence[int],
+    deviation: Optional[str],
+    plan: Optional[ReplicationPlan] = None,
+    config_overrides: Optional[Dict[str, object]] = None,
+    options: Optional[ExecutionOptions] = None,
+    protocol_name: Optional[str] = None,
+) -> List[Tuple[int, PointResult]]:
+    """Run a whole adversary-count sweep as one flat batch.
+
+    Semantically identical to calling :func:`run_point` per count
+    (zero counts run all-honest), but the full (count x seed) matrix
+    is handed to the executor at once, so a pool keeps its workers
+    busy across grid-point boundaries.
+
+    Returns:
+        ``(count, PointResult)`` pairs in the order of ``counts``.
+    """
+    if plan is None:
+        plan = ReplicationPlan()
+    if protocol_name is None:
+        protocol_name = protocol_name_for(protocol_factory)
+    batches = [
+        _requests_for_point(
+            trace_name, family, protocol_name,
+            deviation if count else None, count, plan, config_overrides,
+        )
+        for count in counts
+    ]
+    flat = [request for batch in batches for request in batch]
+    if protocol_name is None:
+        results = [
+            execute_request(request, factory=protocol_factory)
+            for request in flat
+        ]
+    else:
+        results = run_requests(flat, options)
+    points: List[Tuple[int, PointResult]] = []
+    offset = 0
+    for count, batch in zip(counts, batches):
+        runs = results[offset:offset + len(batch)]
+        points.append(
+            (count, point_from_runs(runs, [r.misbehaving() for r in batch]))
+        )
+        offset += len(batch)
+    return points
 
 
 @dataclass

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from .catalog import protocol
+from .parallel import ExecutionOptions
 from .runner import ReplicationPlan, run_point
 from .setting import TRACES, evaluation_trace
 
@@ -121,6 +122,7 @@ def run(
     quick: bool = False,
     plan: Optional[ReplicationPlan] = None,
     adversary_count: int = DEFAULT_ADVERSARY_COUNT,
+    options: Optional[ExecutionOptions] = None,
 ) -> Table1:
     """Reproduce Table I."""
     if plan is None:
@@ -137,6 +139,7 @@ def run(
                 deviation=kind,
                 deviation_count=count,
                 plan=plan,
+                options=options,
             )
             paper_rate, paper_minutes = PAPER_VALUES[kind][trace_name]
             table.cells[(kind, trace_name)] = DetectionCell(

@@ -129,7 +129,8 @@ class TestExperimentCommand:
                 )
             )
         monkeypatch.setattr(
-            fig8_module, "run", lambda quick: {"infocom05": panel}
+            fig8_module, "run",
+            lambda quick, options=None: {"infocom05": panel},
         )
         assert main(["experiment", "fig8"]) == 0
         out = capsys.readouterr().out
@@ -150,18 +151,21 @@ class TestExperimentCommandAllFigures:
             series=[Series(label="s", xs=[0.0], ys=[1.0])],
         )
         monkeypatch.setattr(
-            fig3, "run", lambda quick: {"infocom05": figure}
+            fig3, "run",
+            lambda quick, options=None: {"infocom05": figure},
         )
         monkeypatch.setattr(
-            fig5, "run", lambda quick: {("droppers", "infocom05"): figure}
+            fig5, "run",
+            lambda quick, options=None: {("droppers", "infocom05"): figure},
         )
         monkeypatch.setattr(
-            fig7, "run", lambda quick: {"infocom05": figure}
+            fig7, "run",
+            lambda quick, options=None: {"infocom05": figure},
         )
         monkeypatch.setattr(
             fig4,
             "run",
-            lambda quick: {
+            lambda quick, options=None: {
                 "infocom05": DetectionFigure(
                     figure=figure, detection_rates={"Droppers": 0.9}
                 )
@@ -172,7 +176,9 @@ class TestExperimentCommandAllFigures:
             def render(self):
                 return "stub table"
 
-        monkeypatch.setattr(table1, "run", lambda quick: StubTable())
+        monkeypatch.setattr(
+            table1, "run", lambda quick, options=None: StubTable()
+        )
         return figure
 
     @pytest.mark.parametrize("name", ["fig3", "fig5", "fig7"])

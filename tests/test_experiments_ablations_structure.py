@@ -27,7 +27,8 @@ def calls(monkeypatch):
     recorded = []
 
     def stub(trace_name, family, factory, deviation=None,
-             deviation_count=0, plan=None, config_overrides=None):
+             deviation_count=0, plan=None, config_overrides=None,
+             options=None, protocol_name=None):
         recorded.append(
             dict(
                 deviation=deviation,

@@ -30,23 +30,42 @@ def fake_point(**overrides):
 
 @pytest.fixture
 def calls(monkeypatch):
-    """Stub run_point in every figure module; record the calls."""
+    """Stub run_point/run_series in every figure module; record calls.
+
+    The recorded shape is one entry per grid point, whether the module
+    runs points one at a time or as a batched series.
+    """
     recorded = []
 
-    def stub(trace_name, family, factory, deviation=None,
-             deviation_count=0, plan=None, config_overrides=None):
+    def record(trace_name, family, deviation, count):
         recorded.append(
             dict(
                 trace=trace_name,
                 family=family,
                 deviation=deviation,
-                count=deviation_count,
+                count=count,
             )
         )
+
+    def stub_point(trace_name, family, factory, deviation=None,
+                   deviation_count=0, plan=None, config_overrides=None,
+                   options=None, protocol_name=None):
+        record(trace_name, family, deviation, deviation_count)
         return fake_point()
 
-    for module in (fig3, fig4, fig5, fig7, fig8, table1):
-        monkeypatch.setattr(module, "run_point", stub)
+    def stub_series(trace_name, family, factory, counts, deviation,
+                    plan=None, config_overrides=None, options=None,
+                    protocol_name=None):
+        out = []
+        for count in counts:
+            record(trace_name, family, deviation if count else None, count)
+            out.append((count, fake_point()))
+        return out
+
+    for module in (fig8, table1):
+        monkeypatch.setattr(module, "run_point", stub_point)
+    for module in (fig3, fig4, fig5, fig7):
+        monkeypatch.setattr(module, "run_series", stub_series)
     return recorded
 
 

@@ -1,0 +1,240 @@
+"""Determinism tests for the parallel experiment runner.
+
+The parallel layer's correctness contract is *equivalence*: for fixed
+seeds, ``workers=1``, ``workers=N``, and a warm cache must produce
+bit-identical results (the merge happens in request order, so even
+float summaries match exactly).  These tests pin that contract on
+small, fast configurations, plus the crash-robustness guarantees
+(worker errors surface without hanging the pool or corrupting the
+cache).
+
+Set ``REPRO_TEST_WORKERS`` to restrict the pool sizes exercised (CI
+sets 2 to keep runners light).
+"""
+
+import os
+
+import pytest
+
+from repro.core.g2g_epidemic import G2GEpidemicForwarding
+from repro.experiments import (
+    ExecutionOptions,
+    PROTOCOLS,
+    ReplicationPlan,
+    RunCache,
+    RunReport,
+    RunRequest,
+    run_point,
+    run_requests,
+    run_series,
+)
+from repro.sim.serialize import results_to_dict
+
+#: Short, light runs: a quarter of the evaluation window, sparse
+#: traffic, cheap storage challenges, and a TTL that expires in-run so
+#: detection paths execute too.
+TINY = {
+    "run_length": 1800.0,
+    "silent_tail": 600.0,
+    "mean_interarrival": 60.0,
+    "ttl": 600.0,
+    "heavy_hmac_iterations": 4,
+}
+
+PLAN = ReplicationPlan(seeds=(1, 2, 3, 4))
+
+_env_workers = os.environ.get("REPRO_TEST_WORKERS")
+WORKER_COUNTS = [int(_env_workers)] if _env_workers else [2, 4]
+
+
+def assert_points_identical(a, b):
+    """Exact (bitwise) equality of two PointResults, runs included."""
+    assert a.success_rate == b.success_rate
+    assert a.mean_delay == b.mean_delay
+    assert a.cost == b.cost
+    assert a.memory_byte_seconds == b.memory_byte_seconds
+    assert a.detection_rate == b.detection_rate
+    assert a.detection_delay == b.detection_delay
+    assert a.detection_delay_after_ttl == b.detection_delay_after_ttl
+    assert a.false_positives == b.false_positives
+    assert len(a.runs) == len(b.runs)
+    for run_a, run_b in zip(a.runs, b.runs):
+        assert results_to_dict(run_a) == results_to_dict(run_b)
+
+
+def g2g_point(options=None):
+    return run_point(
+        "infocom05",
+        "epidemic",
+        PROTOCOLS["g2g_epidemic"][1],
+        deviation="dropper",
+        deviation_count=5,
+        plan=PLAN,
+        config_overrides=TINY,
+        options=options,
+    )
+
+
+class TestParallelEqualsSequential:
+    @pytest.fixture(scope="class")
+    def sequential(self):
+        return g2g_point(ExecutionOptions(workers=1))
+
+    def test_default_options_are_sequential(self, sequential):
+        assert_points_identical(sequential, g2g_point())
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_pool_matches_sequential(self, sequential, workers):
+        parallel = g2g_point(ExecutionOptions(workers=workers))
+        assert_points_identical(sequential, parallel)
+
+    def test_seed_order_preserved(self, sequential):
+        assert [run.seed for run in sequential.runs] == list(PLAN.seeds)
+
+
+class TestRunSeries:
+    def test_series_matches_per_point_runs(self):
+        counts = [0, 3, 6]
+        series = run_series(
+            "infocom05",
+            "epidemic",
+            PROTOCOLS["g2g_epidemic"][1],
+            counts,
+            deviation="dropper",
+            plan=ReplicationPlan(seeds=(1, 2)),
+            config_overrides=TINY,
+        )
+        assert [count for count, _ in series] == counts
+        for count, point in series:
+            loose = run_point(
+                "infocom05",
+                "epidemic",
+                PROTOCOLS["g2g_epidemic"][1],
+                deviation="dropper" if count else None,
+                deviation_count=count,
+                plan=ReplicationPlan(seeds=(1, 2)),
+                config_overrides=TINY,
+            )
+            assert_points_identical(point, loose)
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_series_parallel_matches_sequential(self, workers):
+        kwargs = dict(
+            counts=[0, 4],
+            deviation="dropper",
+            plan=ReplicationPlan(seeds=(1, 2)),
+            config_overrides=TINY,
+        )
+        sequential = run_series(
+            "infocom05", "epidemic", PROTOCOLS["g2g_epidemic"][1], **kwargs
+        )
+        parallel = run_series(
+            "infocom05",
+            "epidemic",
+            PROTOCOLS["g2g_epidemic"][1],
+            options=ExecutionOptions(workers=workers),
+            **kwargs,
+        )
+        for (count_a, point_a), (count_b, point_b) in zip(
+            sequential, parallel
+        ):
+            assert count_a == count_b
+            assert_points_identical(point_a, point_b)
+
+
+class TestWarmCache:
+    def test_cached_rerun_is_identical(self, tmp_path):
+        cache = RunCache(tmp_path / "cache")
+        cold = g2g_point(ExecutionOptions(workers=1, cache=cache))
+        assert cache.stats.writes == len(PLAN.seeds)
+        warm = g2g_point(ExecutionOptions(workers=1, cache=cache))
+        assert cache.stats.hits == len(PLAN.seeds)
+        assert_points_identical(cold, warm)
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_warm_cache_matches_pool_output(self, tmp_path, workers):
+        cache = RunCache(tmp_path / "cache")
+        pooled = g2g_point(ExecutionOptions(workers=workers, cache=cache))
+        warm = g2g_point(ExecutionOptions(workers=1, cache=cache))
+        assert_points_identical(pooled, warm)
+
+    def test_report_accounts_for_hits(self, tmp_path):
+        cache = RunCache(tmp_path / "cache")
+        report = RunReport()
+        g2g_point(ExecutionOptions(workers=1, cache=cache, report=report))
+        assert report.executed == len(PLAN.seeds)
+        assert report.cached == 0
+        g2g_point(ExecutionOptions(workers=1, cache=cache, report=report))
+        assert report.cached == len(PLAN.seeds)
+        assert report.total == 2 * len(PLAN.seeds)
+        assert "cache hits" in report.summary()
+
+
+def bad_request(seed=1):
+    """A request whose worker will raise (unknown protocol name)."""
+    return RunRequest(
+        trace_name="infocom05",
+        family="epidemic",
+        protocol_name="no_such_protocol",
+        seed=seed,
+        overrides=tuple(sorted(TINY.items())),
+    )
+
+
+def good_request(seed=1):
+    return RunRequest(
+        trace_name="infocom05",
+        family="epidemic",
+        protocol_name="epidemic",
+        seed=seed,
+        overrides=tuple(sorted(TINY.items())),
+    )
+
+
+class TestCrashRobustness:
+    @pytest.mark.parametrize("workers", [1] + WORKER_COUNTS)
+    def test_worker_error_surfaces(self, workers):
+        requests = [good_request(1), bad_request(), good_request(2)]
+        with pytest.raises(KeyError, match="no_such_protocol"):
+            run_requests(requests, ExecutionOptions(workers=workers))
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_failed_batch_leaves_cache_clean(self, tmp_path, workers):
+        cache = RunCache(tmp_path / "cache")
+        requests = [good_request(1), bad_request(), good_request(2)]
+        with pytest.raises(KeyError):
+            run_requests(
+                requests, ExecutionOptions(workers=workers, cache=cache)
+            )
+        # the successful runs were archived, the failed one was not,
+        # and no temp files linger
+        assert cache.stats.writes == 2
+        leftovers = list((tmp_path / "cache").glob("*.tmp"))
+        assert leftovers == []
+        # the cached survivors are readable and complete
+        for request in (good_request(1), good_request(2)):
+            assert cache.get(request.cache_key()) is not None
+
+    def test_error_is_first_in_request_order(self):
+        requests = [bad_request(1), good_request(1)]
+        with pytest.raises(KeyError, match="no_such_protocol"):
+            run_requests(requests, ExecutionOptions(workers=2))
+
+
+class TestAdHocFactories:
+    def test_uncatalogued_factory_runs_in_process(self, tmp_path):
+        cache = RunCache(tmp_path / "cache")
+        point = run_point(
+            "infocom05",
+            "epidemic",
+            lambda: G2GEpidemicForwarding(testers="any_giver"),
+            deviation="dropper",
+            deviation_count=5,
+            plan=ReplicationPlan(seeds=(1,)),
+            config_overrides=TINY,
+            options=ExecutionOptions(workers=4, cache=cache),
+        )
+        assert len(point.runs) == 1
+        # ad-hoc factories have no stable identity: never cached
+        assert cache.stats.writes == 0
+        assert cache.stats.hits == 0
