@@ -10,6 +10,8 @@ Commands:
 * ``trace`` — generate a synthetic evaluation trace, print its
   profile, and optionally save it in the CRAWDAD-style text format.
 * ``communities`` — run k-clique community detection on a trace.
+* ``perf`` — time the relay-loop hot-path benchmark and write
+  ``BENCH_hotpath.json``.
 
 Examples::
 
@@ -115,6 +117,22 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--archive", default="sweep-runs",
                        help="archive directory")
     sweep.add_argument("--csv", default=None, help="also export CSV here")
+
+    perf = sub.add_parser(
+        "perf", help="run the hot-path benchmark and write BENCH_hotpath.json"
+    )
+    perf.add_argument(
+        "--out", default="BENCH_hotpath.json",
+        help="report path (default: BENCH_hotpath.json)",
+    )
+    perf.add_argument(
+        "--repeats", type=int, default=5,
+        help="timed repetitions; the report keeps the best",
+    )
+    perf.add_argument(
+        "--no-profile", action="store_true",
+        help="skip the cProfile-instrumented repetition",
+    )
 
     communities = sub.add_parser(
         "communities", help="k-clique community detection"
@@ -265,6 +283,39 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_perf(args) -> int:
+    from .perf import bench
+
+    report = bench.write_report(
+        args.out, repeats=args.repeats, profile=not args.no_profile
+    )
+    optimized = report["optimized"]
+    print(
+        f"hot-path benchmark: {optimized['spec']['trace']} / g2g_epidemic / "
+        f"seed {optimized['spec']['seed']}"
+    )
+    print(
+        f"  wall     : best {optimized['wall_seconds_best']:.3f} s of "
+        f"{args.repeats} (baseline {report['baseline']['wall_seconds_best']:.3f} s, "
+        f"{report['speedup_wall']:.2f}x)"
+    )
+    if "speedup_profiled" in report:
+        print(
+            f"  profiled : {optimized['profiled_seconds']:.3f} s "
+            f"(baseline {report['baseline']['profiled_seconds']:.1f} s, "
+            f"{report['speedup_profiled']:.2f}x)"
+        )
+    counters = optimized["counters"]
+    print(
+        f"  counters : {counters['relay_entries']} relay entries, "
+        f"{counters['signatures']} signatures, "
+        f"{counters['encodings']} encodings "
+        f"({counters['encoding_cache_hits']} cache hits)"
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
 def cmd_communities(args) -> int:
     synthetic = trace_by_name(args.trace)
     cmap = CommunityMap.detect(
@@ -289,6 +340,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": cmd_trace,
         "communities": cmd_communities,
         "sweep": cmd_sweep,
+        "perf": cmd_perf,
     }
     return handlers[args.command](args)
 

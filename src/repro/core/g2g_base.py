@@ -25,12 +25,15 @@ the liar check in the test by the destination).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+from ..adversaries.base import Strategy
 from ..crypto.hashing import HeavyHmac
 from ..crypto.keys import Authority, NodeIdentity
 from ..crypto.provider import CryptoProvider, SimulatedCryptoProvider
+from ..perf.counters import COUNTERS
 from ..protocols.base import ForwardingProtocol, make_room
 from ..sim.eventlog import EventType
 from ..sim.messages import Message, StoredCopy
@@ -64,6 +67,14 @@ class RelayPlan:
     new_copy_quality: float = 0.0
     attachments: List[Any] = field(default_factory=list)
     declaration: Any = None
+
+
+#: The all-defaults plan of the unconditional (epidemic) negotiation,
+#: built once and shared by every hand-off.  Strictly read-only: the
+#: relay path copies ``attachments`` before storing and never writes a
+#: plan field, so one instance can parameterize 40k+ relays without
+#: 40k dataclass constructions.
+ACCEPT_PLAN = RelayPlan()
 
 
 @dataclass
@@ -134,6 +145,30 @@ class Give2GetBase(ForwardingProtocol):
         self._sources: Dict[NodeId, Dict[int, _SourceRecord]] = {
             node_id: {} for node_id in ctx.nodes
         }
+        # Housekeeping fast path: per-node min-heaps of
+        # ``(created_at + Δ2, msg_id)`` scheduled at every store, for
+        # the buffer and the source-record map respectively.  The
+        # per-contact sweep pops exactly the entries whose deadline
+        # passed — O(expired) instead of O(buffer) — and entries whose
+        # message was dropped earlier are skipped (the buffer/record
+        # map stays authoritative, the heap only schedules the look).
+        self._buffer_purge_heap: Dict[NodeId, List[Tuple[float, int]]] = {}
+        self._records_purge_heap: Dict[NodeId, List[Tuple[float, int]]] = {}
+        # Hot-loop constants: per-run invariants read on every relay.
+        config = ctx.config
+        energy = config.energy
+        self._delta2 = config.delta2
+        self._relay_fanout = config.relay_fanout
+        self._source_fanout = (
+            float("inf") if config.source_fanout is None
+            else config.source_fanout
+        )
+        self._sig_cost = energy.signature
+        self._ver_cost = energy.verification
+        self._bounded_buffers = config.buffer_capacity is not None
+        # (transfer, receive) joules per on-air size; message sizes are
+        # per-run constants so this dict stays tiny.
+        self._xfer_costs: Dict[int, Tuple[float, float]] = {}
 
     # -- event hooks ----------------------------------------------------
 
@@ -157,6 +192,13 @@ class Give2GetBase(ForwardingProtocol):
             now,
             self.ctx.results,
         )
+        purge_at = message.created_at + self._delta2
+        self._schedule_purge(
+            self._buffer_purge_heap, message.source, purge_at, message.msg_id
+        )
+        self._schedule_purge(
+            self._records_purge_heap, message.source, purge_at, message.msg_id
+        )
         for peer in list(self.ctx.active_neighbors(message.source)):
             if self.ctx.usable_pair(message.source, peer):
                 self._offer(source, self.ctx.node(peer), now)
@@ -170,10 +212,10 @@ class Give2GetBase(ForwardingProtocol):
         # contact would have carried, including its own messages.
         if not (
             node_a.strategy.accept_session(
-                a, b, now, self._pending_givers(node_a, now)
+                a, b, now, self._pending_givers_for(node_a, now)
             )
             and node_b.strategy.accept_session(
-                b, a, now, self._pending_givers(node_b, now)
+                b, a, now, self._pending_givers_for(node_b, now)
             )
         ):
             self.ctx.results.session_refusals += 1
@@ -188,6 +230,21 @@ class Give2GetBase(ForwardingProtocol):
                 continue
             self._offer(giver, taker, now)
 
+    def _pending_givers_for(self, node: NodeState, now: float) -> frozenset:
+        """``_pending_givers``, skipped for strategies that ignore it.
+
+        The base :meth:`Strategy.accept_session` accepts
+        unconditionally without reading ``pending_givers``, so the
+        O(taken-messages) exposure scan is only worth computing for
+        strategies that override the hook (the test dodgers).  The
+        scan's only side effect is garbage-collecting expired ``taken``
+        entries — pure bookkeeping nothing else reads — so skipping it
+        for honest nodes is behavior-neutral.
+        """
+        if type(node.strategy).accept_session is Strategy.accept_session:
+            return frozenset()
+        return self._pending_givers(node, now)
+
     def _pending_givers(self, node: NodeState, now: float) -> frozenset:
         """Peers this node could not answer a test from right now.
 
@@ -200,6 +257,7 @@ class Give2GetBase(ForwardingProtocol):
         taken = node.extra.get("taken")
         if not taken:
             return frozenset()
+        COUNTERS.pending_scans += 1
         fanout = self.ctx.config.relay_fanout
         pending = set()
         for msg_id, (giver, deadline) in list(taken.items()):
@@ -234,7 +292,7 @@ class Give2GetBase(ForwardingProtocol):
         The epidemic base relays unconditionally (the seen-check ran
         already); delegation overrides with the quality negotiation.
         """
-        return RelayPlan()
+        return ACCEPT_PLAN
 
     def _after_relay(
         self,
@@ -269,10 +327,29 @@ class Give2GetBase(ForwardingProtocol):
     # -- the relay phase --------------------------------------------------
 
     def _offer(self, giver: NodeState, taker: NodeState, now: float) -> None:
-        """Try to relay every eligible copy of ``giver`` to ``taker``."""
-        config = self.ctx.config
-        for copy in giver.live_copies(now):
-            if copy.num_relays >= self._fanout_cap(giver, copy):
+        """Try to relay every eligible copy of ``giver`` to ``taker``.
+
+        The candidate scan excludes messages the taker has already
+        handled (step 1's RELAY_RQST answered in bulk against the
+        taker's ``seen`` set), so the signed relay phase only starts
+        for hand-offs that can actually happen.  Candidate order is
+        the giver's buffer insertion order — identical to the
+        pre-index full-buffer filter, keeping RNG draws in the same
+        order and the run bit-identical.
+        """
+        candidates = giver.relay_candidates(now, taker.seen)
+        if not candidates:
+            return
+        giver_id = giver.node_id
+        relay_fanout = self._relay_fanout
+        source_fanout = self._source_fanout
+        for copy in candidates:
+            cap = (
+                source_fanout
+                if copy.message.source == giver_id
+                else relay_fanout
+            )
+            if len(copy.relays) >= cap:
                 continue
             if taker.evicted:
                 break
@@ -293,96 +370,113 @@ class Give2GetBase(ForwardingProtocol):
         """Run the full relay phase for one copy; True on hand-off."""
         ctx = self.ctx
         results = ctx.results
+        events = ctx.events
         message = copy.message
+        msg_id = message.msg_id
+        giver_id = giver.node_id
+        taker_id = taker.node_id
+        identities = self.identities
+        COUNTERS.relay_entries += 1
         # Step 1-2: RELAY_RQST / RELAY_OK.  The honest answer to "have
         # you handled H(m)?" — declining without knowing the
         # destination is never rational (Sec. IV-C), so every strategy
-        # answers truthfully.
-        if taker.has_seen(message.msg_id):
+        # answers truthfully.  (The offer scan pre-filters against the
+        # taker's seen set; this guard keeps direct callers safe.)
+        if msg_id in taker.seen:
             return False
         plan = self._negotiate(giver, taker, copy, now)
         if plan is None:
             return False
         declaration = plan.declaration
         results.relay_attempts += 1
-        energy = ctx.config.energy
         # Step 3: RELAY, E_k(m) — the body crosses the air.
         results.record_replica(message)
-        results.add_energy(
-            giver.node_id,
-            energy.transfer_cost(message.size_bytes + CONTROL_MESSAGE_SIZE),
-        )
-        results.add_energy(
-            taker.node_id,
-            energy.receive_cost(message.size_bytes + CONTROL_MESSAGE_SIZE),
-        )
+        size = message.size_bytes + CONTROL_MESSAGE_SIZE
+        costs = self._xfer_costs.get(size)
+        if costs is None:
+            energy = ctx.config.energy
+            costs = self._xfer_costs[size] = (
+                energy.transfer_cost(size), energy.receive_cost(size)
+            )
+        # Charges stay separate and in protocol-step order: folding
+        # them would change float accumulation order and break
+        # bit-identical energy totals.
+        results.add_energy(giver_id, costs[0])
+        results.add_energy(taker_id, costs[1])
         # Step 4: the taker signs the Proof of Relay.
         por = make_proof_of_relay(
-            self.identities[taker.node_id],
-            self._hash[message.msg_id],
-            giver.node_id,
+            identities[taker_id],
+            self._hash[msg_id],
+            giver_id,
             now,
             quality_subject=plan.quality_subject,
             message_quality=plan.message_quality,
             taker_quality=plan.taker_quality,
         )
-        self._charge_signature(taker.node_id)
+        results.add_energy(taker_id, self._sig_cost)
         if not verify_proof_of_relay(
-            self.identities[giver.node_id],
-            self.identities[taker.node_id].certificate,
+            identities[giver_id],
+            identities[taker_id].certificate,
             por,
         ):  # pragma: no cover - honest takers always produce valid PoRs
             return False
-        self._charge_verification(giver.node_id)
+        results.add_energy(giver_id, self._ver_cost)
         copy.proofs.append(por)
-        copy.relays.append(taker.node_id)
+        copy.relays.append(taker_id)
         if (
-            message.source != giver.node_id
-            and copy.num_relays >= ctx.config.relay_fanout
+            message.source != giver_id
+            and len(copy.relays) >= self._relay_fanout
         ):
             # Two proofs collected: the body may be discarded; the
             # proofs stay until Δ2.  The source keeps its own message
             # (it is never tested and wants it delivered).
-            giver.drop_body(message.msg_id, now, results)
-        record = self._sources[giver.node_id].get(message.msg_id)
+            giver.drop_body(msg_id, now, results)
+        record = self._sources[giver_id].get(msg_id)
         if record is None and self.testers == "any_giver":
             # Ablation mode: intermediate relays also keep audit
             # records for the messages they hand out.
             record = _SourceRecord(message=message, is_source=False)
-            self._sources[giver.node_id][message.msg_id] = record
+            self._sources[giver_id][msg_id] = record
+            self._schedule_purge(
+                self._records_purge_heap, giver_id,
+                message.created_at + self._delta2, msg_id,
+            )
         if record is not None:
-            record.takers.append(taker.node_id)
+            record.takers.append(taker_id)
         self._after_relay(giver, record, taker, plan, declaration, now)
         # Step 5: the key is revealed; the taker learns whether it is
         # the destination.
-        ctx.events.log(
-            now, EventType.RELAYED, msg_id=message.msg_id,
-            actor=giver.node_id, subject=taker.node_id,
-        )
-        if taker.node_id == message.destination:
-            identity = self.identities[taker.node_id]
-            source_id, msg_id, _body = open_message(
-                identity, self._sealed[message.msg_id]
+        if events.enabled:
+            events.log(
+                now, EventType.RELAYED, msg_id=msg_id,
+                actor=giver_id, subject=taker_id,
             )
-            assert (source_id, msg_id) == (message.source, message.msg_id)
-            taker.seen.add(message.msg_id)
+        if taker_id == message.destination:
+            source_id, opened_id, _body = open_message(
+                identities[taker_id], self._sealed[msg_id]
+            )
+            assert (source_id, opened_id) == (message.source, msg_id)
+            taker.seen.add(msg_id)
             results.record_delivery(message, now)
-            ctx.events.log(
-                now, EventType.DELIVERED, msg_id=message.msg_id,
-                actor=giver.node_id, subject=taker.node_id,
-            )
+            if events.enabled:
+                events.log(
+                    now, EventType.DELIVERED, msg_id=msg_id,
+                    actor=giver_id, subject=taker_id,
+                )
             self._on_delivered(taker, plan.attachments, message, now)
+            COUNTERS.relay_handoffs += 1
             return True
         # "Label both messages with the forwarding quality of node B":
         # the giver's surviving copy adopts the taker's declared
         # quality (a no-op for the epidemic variant).
         copy.quality = plan.new_copy_quality
-        make_room(ctx, taker, now)
+        if self._bounded_buffers:
+            make_room(ctx, taker, now)
         taker.store(
             StoredCopy(
                 message=message,
                 received_at=now,
-                received_from=giver.node_id,
+                received_from=giver_id,
                 quality=plan.new_copy_quality,
                 attachments=list(plan.attachments),
             ),
@@ -392,20 +486,26 @@ class Give2GetBase(ForwardingProtocol):
         # The taker remembers who gave it what, and until when it can
         # be tested — the knowledge both honest bookkeeping and a
         # test-dodging strategy operate on.
-        taker.extra.setdefault("taken", {})[message.msg_id] = (
-            giver.node_id,
-            message.created_at + ctx.config.delta2,
+        purge_at = message.created_at + self._delta2
+        taken = taker.extra.get("taken")
+        if taken is None:
+            taken = taker.extra["taken"] = {}
+        taken[msg_id] = (giver_id, purge_at)
+        self._schedule_purge(
+            self._buffer_purge_heap, taker_id, purge_at, msg_id
         )
+        COUNTERS.relay_handoffs += 1
         keep = taker.strategy.keep_relayed_copy(
-            taker.node_id, message, giver.node_id, now
+            taker_id, message, giver_id, now
         )
         if not keep:
-            taker.drop(message.msg_id, now, results)
-            results.record_deviation(taker.node_id, message)
-            ctx.events.log(
-                now, EventType.DROPPED, msg_id=message.msg_id,
-                actor=taker.node_id, subject=giver.node_id,
-            )
+            taker.drop(msg_id, now, results)
+            results.record_deviation(taker_id, message)
+            if events.enabled:
+                events.log(
+                    now, EventType.DROPPED, msg_id=msg_id,
+                    actor=taker_id, subject=giver_id,
+                )
         return True
 
     # -- the test phase ---------------------------------------------------
@@ -421,18 +521,22 @@ class Give2GetBase(ForwardingProtocol):
         """
         if source.evicted or peer.evicted:
             return
-        config = self.ctx.config
-        for record in self._sources[source.node_id].values():
+        records = self._sources[source.node_id]
+        if not records:
+            return
+        delta2 = self._delta2
+        peer_id = peer.node_id
+        for record in records.values():
             message = record.message
-            if peer.node_id == message.destination:
+            if peer_id == message.destination:
                 continue  # the source knows D; a delivery is never tested
-            if peer.node_id not in record.takers:
+            if peer_id not in record.takers:
                 continue
-            if peer.node_id in record.tested:
+            if peer_id in record.tested:
                 continue
             if now <= message.expires_at:
                 continue  # the test window opens at Δ1
-            if now > message.created_at + config.delta2:
+            if now > message.created_at + delta2:
                 continue  # the window closed; the relay may have purged
             record.tested.add(peer.node_id)
             self._test_one(source, peer, record, now)
@@ -571,23 +675,54 @@ class Give2GetBase(ForwardingProtocol):
 
     # -- housekeeping -------------------------------------------------------
 
+    @staticmethod
+    def _schedule_purge(
+        heaps: Dict[NodeId, List[Tuple[float, int]]],
+        node_id: NodeId,
+        deadline: float,
+        msg_id: int,
+    ) -> None:
+        """Schedule a Δ2 purge check for one stored message."""
+        heap = heaps.get(node_id)
+        if heap is None:
+            heap = heaps[node_id] = []
+        heapq.heappush(heap, (deadline, msg_id))
+
     def _housekeeping(self, node: NodeState, now: float) -> None:
-        """Purge everything older than Δ2 (messages, proofs, records)."""
-        config = self.ctx.config
-        stale = [
-            msg_id
-            for msg_id, copy in node.buffer.items()
-            if now > copy.message.created_at + config.delta2
-        ]
-        for msg_id in stale:
-            node.drop(msg_id, now, self.ctx.results)
-        records = self._sources[node.node_id]
-        for msg_id in [
-            m
-            for m, record in records.items()
-            if now > record.message.created_at + config.delta2
-        ]:
-            del records[msg_id]
+        """Purge everything older than Δ2 (messages, proofs, records).
+
+        Driven by the per-node purge heaps fed at every store: each
+        sweep pops exactly the entries whose ``created_at + Δ2``
+        deadline has passed and drops whatever of them is still held.
+        Entries for messages dropped earlier (strategy drops, body
+        discards, evictions) are simply skipped — the buffer and the
+        record map stay authoritative.  A message id never re-enters a
+        node's buffer (``seen`` forbids re-taking), so one scheduled
+        check per store suffices.  The purge set and its timing are
+        identical to the original full-buffer scan; only the cost
+        drops from O(buffer) per contact to O(expired) amortized.
+        """
+        node_id = node.node_id
+        heap = self._buffer_purge_heap.get(node_id)
+        if heap and heap[0][0] < now:
+            COUNTERS.housekeeping_scans += 1
+            results = self.ctx.results
+            buffer = node.buffer
+            while heap and heap[0][0] < now:
+                _deadline, msg_id = heapq.heappop(heap)
+                if msg_id in buffer:
+                    node.drop(msg_id, now, results)
+            if not heap:
+                del self._buffer_purge_heap[node_id]
+        heap = self._records_purge_heap.get(node_id)
+        if heap and heap[0][0] < now:
+            COUNTERS.housekeeping_scans += 1
+            records = self._sources[node_id]
+            while heap and heap[0][0] < now:
+                _deadline, msg_id = heapq.heappop(heap)
+                records.pop(msg_id, None)
+            if not heap:
+                del self._records_purge_heap[node_id]
 
     # -- energy helpers ------------------------------------------------------
 

@@ -63,6 +63,10 @@ class G2GDelegationForwarding(Give2GetBase):
         self.tracker = QualityTracker(
             self.variant, ctx.config.quality_timeframe
         )
+        # Node population is fixed for the run (evictions only flag
+        # nodes); built once so every camouflage draw skips an
+        # O(nodes) list build while sampling the identical sequence.
+        self._node_ids = list(ctx.nodes)
 
     def on_contact_start(self, a: NodeId, b: NodeId, now: float) -> None:
         self.tracker.encounter(a, b, now)
@@ -237,7 +241,7 @@ class G2GDelegationForwarding(Give2GetBase):
 
     def _camouflage_subject(self, excluded: NodeId) -> NodeId:
         """A random node id different from ``excluded`` (the D' trick)."""
-        nodes = list(self.ctx.nodes)
+        nodes = self._node_ids
         choice = self.ctx.rng.choice(nodes)
         while choice == excluded:
             choice = self.ctx.rng.choice(nodes)

@@ -19,7 +19,7 @@ from typing import Optional
 
 from ..sim.messages import StoredCopy
 from ..sim.node import NodeState
-from .g2g_base import Give2GetBase, RelayPlan
+from .g2g_base import ACCEPT_PLAN, Give2GetBase, RelayPlan
 
 
 class G2GEpidemicForwarding(Give2GetBase):
@@ -37,5 +37,6 @@ class G2GEpidemicForwarding(Give2GetBase):
     ) -> Optional[RelayPlan]:
         # Epidemic admission: any node that has not seen the message
         # qualifies (the seen-check ran in the base class).  The PoR
-        # carries no quality fields in this variant.
-        return RelayPlan()
+        # carries no quality fields in this variant, so every hand-off
+        # shares the read-only all-defaults plan.
+        return ACCEPT_PLAN

@@ -6,7 +6,13 @@ must be expensive to compute so that storing-and-answering is never
 cheaper than relaying (Sec. IV-B).  We provide:
 
 * :func:`digest` / :func:`hexdigest` — the plain ``H()`` of the paper.
-* :func:`hmac_digest` — standard HMAC-SHA256.
+* :func:`hmac_digest` — standard HMAC-SHA256, with a fast path for
+  callers that HMAC many payloads under one key: :func:`prepare_hmac_key`
+  precomputes the padded-key state once, and ``hmac_digest`` accepts
+  the prepared key anywhere a raw ``bytes`` key is accepted, producing
+  bit-identical MACs at roughly half the SHA-256 block work per call.
+  The simulated crypto provider and :class:`HeavyHmac` both run on this
+  one implementation.
 * :class:`HeavyHmac` — an iterated (PBKDF2-style) HMAC whose iteration
   count is the knob mapping to an energy price; the number of
   iterations actually executed is recorded so simulations can charge
@@ -21,6 +27,9 @@ from __future__ import annotations
 import hashlib
 import hmac as _hmac
 from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple, Union
+
+from ..perf.counters import COUNTERS
 
 #: Size in bytes of all digests produced by this module.
 DIGEST_SIZE = hashlib.sha256().digest_size
@@ -30,6 +39,17 @@ DIGEST_SIZE = hashlib.sha256().digest_size
 #: the message would have; simulations map iterations to joules via
 #: :class:`repro.sim.config.EnergyModel`.
 DEFAULT_HEAVY_ITERATIONS = 10_000
+
+#: A reusable HMAC state with the key schedule already absorbed
+#: (returned by :func:`prepare_hmac_key`, accepted by :func:`hmac_digest`).
+#: Concretely an OpenSSL ``_hashlib.HMAC`` when the accelerated
+#: backend is available, else a pure-``hmac.HMAC`` — both expose the
+#: same ``copy()``/``update()``/``digest()`` surface, which is all the
+#: fast path relies on.
+PreparedHmacKey = Any
+
+#: Either form of HMAC key the fast path accepts.
+HmacKey = Union[bytes, PreparedHmacKey]
 
 
 def digest(data: bytes) -> bytes:
@@ -42,9 +62,38 @@ def hexdigest(data: bytes) -> str:
     return hashlib.sha256(data).hexdigest()
 
 
-def hmac_digest(key: bytes, data: bytes) -> bytes:
-    """Standard HMAC-SHA256 of ``data`` under ``key``."""
-    return _hmac.new(key, data, hashlib.sha256).digest()
+def prepare_hmac_key(key: bytes) -> PreparedHmacKey:
+    """Absorb ``key`` into a reusable HMAC-SHA256 state.
+
+    The returned object is never mutated by :func:`hmac_digest` — each
+    call works on a cheap ``copy()`` — so one prepared key can serve
+    any number of digests, concurrently and in any order.
+
+    When the interpreter carries the OpenSSL backend, the prepared key
+    is the raw ``_hashlib.HMAC`` state rather than the stdlib wrapper:
+    the wrapper's ``copy()``/``update()``/``digest()`` are thin Python
+    shims around exactly that object, and shedding them roughly halves
+    the per-MAC overhead on the relay hot path.  MACs are bit-identical
+    either way.
+    """
+    COUNTERS.hmac_prepares += 1
+    mac = _hmac.new(key, None, hashlib.sha256)
+    return getattr(mac, "_hmac", None) or mac
+
+
+def hmac_digest(key: HmacKey, data: bytes) -> bytes:
+    """HMAC-SHA256 of ``data`` under ``key``.
+
+    ``key`` may be raw bytes (the classic form) or a prepared key from
+    :func:`prepare_hmac_key`; both produce identical MACs.
+    """
+    if type(key) is bytes:
+        COUNTERS.hmac_prepares += 1
+        return _hmac.new(key, data, hashlib.sha256).digest()
+    COUNTERS.hmac_copies += 1
+    mac = key.copy()
+    mac.update(data)
+    return mac.digest()
 
 
 def constant_time_equal(a: bytes, b: bytes) -> bool:
@@ -71,6 +120,15 @@ class HeavyHmac:
 
     iterations: int = DEFAULT_HEAVY_ITERATIONS
     work_performed: int = field(default=0, init=False)
+    # Chain memo: (seed, first link) -> final value.  A storage proof
+    # is computed by the prover and immediately recomputed by the
+    # challenger; the chain past the first link depends only on the
+    # seed and on h_0, so the second traversal is pure redundancy.
+    # ``work_performed`` still counts every modeled iteration — the
+    # cache saves simulator CPU, not the energy the *node* is charged.
+    _chains: Dict[Tuple[bytes, bytes], bytes] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.iterations < 1:
@@ -84,12 +142,32 @@ class HeavyHmac:
         The whole message participates in the first link of the chain,
         so the prover must hold the message bytes; subsequent links
         only mix the running digest, keeping cost independent of the
-        message size (the expense is in the chain length).
+        message size (the expense is in the chain length).  Every link
+        is keyed by the same seed, so the key schedule is absorbed once
+        via :func:`prepare_hmac_key` and each link pays only for its
+        own input — the chain values are unchanged.
+
+        The prover must always compute ``h_0`` over the full message
+        (that is the storage proof); the remaining chain is memoized on
+        ``(seed, h_0)``, so the verifier recomputing the same challenge
+        traverses it for free.  ``work_performed`` is charged in full
+        either way — it models the node's energy, not simulator CPU.
         """
-        value = _hmac.new(seed, message, hashlib.sha256).digest()
-        for _ in range(self.iterations - 1):
-            value = _hmac.new(seed, value, hashlib.sha256).digest()
+        prepared = prepare_hmac_key(seed)
+        value = hmac_digest(prepared, message)
         self.work_performed += self.iterations
+        cached = self._chains.get((seed, value))
+        if cached is not None:
+            return cached
+        head = value
+        links = self.iterations - 1
+        fork = prepared.copy
+        for _ in range(links):
+            mac = fork()
+            mac.update(value)
+            value = mac.digest()
+        COUNTERS.hmac_copies += links
+        self._chains[(seed, head)] = value
         return value
 
     def verify(self, message: bytes, seed: bytes, mac: bytes) -> bool:

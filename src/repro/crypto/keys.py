@@ -20,9 +20,10 @@ runs over real RSA or the fast registry-backed simulation provider.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Set, Tuple
 
+from ..perf.counters import COUNTERS
 from .hashing import digest
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -125,6 +126,14 @@ class NodeIdentity:
     certificate: Certificate
     provider: "CryptoProvider"
     authority_public_key: Any
+    # Content keys of peer certificates this identity has already
+    # chain-validated against the authority.  Certificates are frozen
+    # and the authority key never rotates within a run, so a successful
+    # validation holds for the certificate's lifetime; failed
+    # validations are never cached and re-verify every time.
+    _validated_certs: Set[Tuple[NodeId, bytes, bytes]] = field(
+        default_factory=set, init=False, repr=False, compare=False
+    )
 
     def sign(self, payload: bytes) -> bytes:
         """Return the node's signature over ``payload``."""
@@ -135,15 +144,24 @@ class NodeIdentity:
     ) -> bool:
         """Verify ``signature`` over ``payload`` against a peer's cert.
 
-        Also validates the certificate chain back to the authority;
-        a forged certificate invalidates everything signed under it.
+        Also validates the certificate chain back to the authority
+        (memoized per certificate content — certificates are immutable
+        and a run has no revocation, so one successful validation
+        suffices); a forged certificate invalidates everything signed
+        under it.
         """
-        if not self.provider.verify(
-            self.authority_public_key,
-            _cert_payload(cert.node_id, cert.fingerprint),
-            cert.signature,
-        ):
-            return False
+        cert_key = (cert.node_id, cert.fingerprint, cert.signature)
+        if cert_key in self._validated_certs:
+            COUNTERS.cert_cache_hits += 1
+        else:
+            COUNTERS.cert_checks += 1
+            if not self.provider.verify(
+                self.authority_public_key,
+                _cert_payload(cert.node_id, cert.fingerprint),
+                cert.signature,
+            ):
+                return False
+            self._validated_certs.add(cert_key)
         return self.provider.verify(cert.public_key, payload, signature)
 
     def encrypt_for(self, cert: Certificate, plaintext: bytes) -> bytes:

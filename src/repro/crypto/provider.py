@@ -28,9 +28,16 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Any, Dict, Tuple
 
+from ..perf.counters import COUNTERS
 from . import rsa, symmetric
 from .dh import DhGroup, default_group
-from .hashing import constant_time_equal, digest, hmac_digest
+from .hashing import (
+    PreparedHmacKey,
+    constant_time_equal,
+    digest,
+    hmac_digest,
+    prepare_hmac_key,
+)
 
 
 class CryptoProvider(ABC):
@@ -161,6 +168,21 @@ class SimulatedCryptoProvider(CryptoProvider):
     def __init__(self, rng: random.Random | None = None) -> None:
         self._rng = rng if rng is not None else random.Random()
         self._secrets: Dict[int, bytes] = {}
+        # Prepared signing keys: HMAC(digest(b"sign|" + secret)) with
+        # the key schedule pre-absorbed, built once per key_id.  Each
+        # sign/verify works on a copy, so MACs are bit-identical to
+        # the rebuild-per-call form at roughly half the block work.
+        self._signing_keys: Dict[int, PreparedHmacKey] = {}
+        # Signature memo: (key_id, payload) -> MAC.  HMACs are
+        # deterministic, so a verification of bytes this provider
+        # itself signed (the overwhelmingly common case: a Proof of
+        # Relay is checked by the giver the moment the taker signs it)
+        # is a lookup + constant-time compare instead of a recompute.
+        # A miss falls through to the full computation, so forgeries
+        # are rejected exactly as before.
+        self._macs: Dict[Tuple[int, bytes], bytes] = {}
+        # digest(b"enc|" + secret), derived once per key_id.
+        self._enc_keys: Dict[int, bytes] = {}
         self._ids = itertools.count(1)
 
     def generate_keypair(self) -> Tuple[_SimPrivateKey, _SimPublicKey]:
@@ -173,28 +195,56 @@ class SimulatedCryptoProvider(CryptoProvider):
     def fingerprint(self, public_key: _SimPublicKey) -> bytes:
         return digest(b"sim-key|" + str(public_key.key_id).encode())
 
+    def _signing_key(self, key_id: int) -> PreparedHmacKey:
+        prepared = self._signing_keys.get(key_id)
+        if prepared is None:
+            prepared = prepare_hmac_key(
+                digest(b"sign|" + self._secrets[key_id])
+            )
+            self._signing_keys[key_id] = prepared
+        return prepared
+
+    def _enc_key(self, key_id: int) -> bytes:
+        derived = self._enc_keys.get(key_id)
+        if derived is None:
+            derived = self._enc_keys[key_id] = digest(
+                b"enc|" + self._secrets[key_id]
+            )
+        return derived
+
     def sign(self, private_key: _SimPrivateKey, payload: bytes) -> bytes:
-        secret = self._secrets[private_key.key_id]
-        return hmac_digest(digest(b"sign|" + secret), payload)
+        COUNTERS.signatures += 1
+        COUNTERS.hmac_copies += 1
+        key_id = private_key.key_id
+        # Inlined hmac_digest fast path: one sign per relay hand-off.
+        state = self._signing_key(key_id).copy()
+        state.update(payload)
+        mac = state.digest()
+        self._macs[(key_id, payload)] = mac
+        return mac
 
     def verify(
         self, public_key: _SimPublicKey, payload: bytes, signature: bytes
     ) -> bool:
-        secret = self._secrets.get(public_key.key_id)
-        if secret is None:
-            return False
-        expected = hmac_digest(digest(b"sign|" + secret), payload)
+        COUNTERS.verifications += 1
+        key_id = public_key.key_id
+        expected = self._macs.get((key_id, payload))
+        if expected is None:
+            if key_id not in self._secrets:
+                return False
+            expected = hmac_digest(self._signing_key(key_id), payload)
+            self._macs[(key_id, payload)] = expected
+        else:
+            COUNTERS.mac_cache_hits += 1
         return constant_time_equal(expected, signature)
 
     def encrypt(self, public_key: _SimPublicKey, plaintext: bytes) -> bytes:
-        secret = self._secrets[public_key.key_id]
         return symmetric.encrypt(
-            digest(b"enc|" + secret), plaintext, self._rng
+            self._enc_key(public_key.key_id), plaintext, self._rng
         )
 
     def decrypt(self, private_key: _SimPrivateKey, ciphertext: bytes) -> bytes:
-        secret = self._secrets[private_key.key_id]
-        return symmetric.decrypt(digest(b"enc|" + secret), ciphertext)
+        return symmetric.decrypt(self._enc_key(private_key.key_id), ciphertext)
 
     def new_session_key(self, rng: random.Random) -> bytes:
         return symmetric.random_key(rng)

@@ -1,0 +1,11 @@
+"""Performance harness: op counters and hot-path microbenchmarks.
+
+``repro.perf.counters`` is imported by the hot modules themselves and
+must stay dependency-free; ``repro.perf.bench`` pulls in the whole
+experiment stack and is therefore imported lazily (by the CLI and the
+perf tests), never from this package root.
+"""
+
+from .counters import COUNTERS, OpCounters
+
+__all__ = ["COUNTERS", "OpCounters"]

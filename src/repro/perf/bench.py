@@ -1,0 +1,245 @@
+"""Hot-path benchmark: the measurements behind ``BENCH_hotpath.json``.
+
+The headline benchmark is one full simulation run — cambridge06 /
+G2G Epidemic Forwarding / seed 1 — timed best-of-N, with the
+deterministic op-counter reading for the run alongside.  Wall-clock on
+a shared container is noisy (identical code varies by 2x between
+quiet and busy moments), so the report records three complementary
+views:
+
+* best-of-N wall seconds (the least-noise wall statistic),
+* one cProfile-instrumented run (stable ranking of where time goes;
+  profiling inflates absolute time roughly 3-4x, which is the
+  methodology behind the pre-overhaul "~11 s" figure), and
+* the op counters, which are bit-exact for a fixed seed and therefore
+  comparable across machines.
+
+The pre-overhaul reference numbers are frozen in :data:`BASELINE`
+(they were measured at the commit recorded there; the optimized tree
+cannot re-measure them).  Microbenchmarks isolate the three layers the
+overhaul touched: wire encodings, HMAC signing, and the relay-candidate
+buffer scan.
+
+This module pulls in the whole experiment stack — import it lazily
+(the CLI and the perf tests do), never from ``repro.perf.__init__``.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+import platform
+import sys
+import time
+import timeit
+from typing import Any, Dict, Optional
+
+from ..core.g2g_epidemic import G2GEpidemicForwarding
+from ..core.wire import ProofOfRelay
+from ..crypto.hashing import digest, hmac_digest, prepare_hmac_key
+from ..experiments.setting import evaluation_trace, standard_config
+from ..sim.engine import run_simulation
+from ..sim.messages import Message, StoredCopy
+from ..sim.node import NodeState
+from ..sim.results import SimulationResults
+from .counters import COUNTERS
+
+#: The single-run benchmark spec.
+BENCH_TRACE = "cambridge06"
+BENCH_FAMILY = "epidemic"
+BENCH_SEED = 1
+
+#: Pre-overhaul reference, measured at the recorded commit on the same
+#: container as the optimized numbers (best of 7 back-to-back runs;
+#: the profiled figure is one cProfile run of the same spec).  The
+#: run's metrics are part of the reference: the overhaul is only valid
+#: while the optimized run reproduces them bit-for-bit.
+BASELINE: Dict[str, Any] = {
+    "commit": "d369a0f",
+    "wall_seconds_best": 2.788,
+    "wall_seconds_all": [3.262, 3.103, 3.369, 3.779, 2.899, 2.788, 2.846],
+    "profiled_seconds": 10.6,
+    "metrics": {
+        "success_rate": 0.702733,
+        "cost": 23.604214,
+        "total_energy": 2550.404531,
+    },
+}
+
+
+def run_single(
+    trace_name: str = BENCH_TRACE,
+    family: str = BENCH_FAMILY,
+    seed: int = BENCH_SEED,
+):
+    """One timed benchmark run.
+
+    Returns:
+        ``(elapsed_seconds, results, counter_diff)``.
+    """
+    trace = evaluation_trace(trace_name)
+    config = standard_config(trace_name, family, seed)
+    before = COUNTERS.snapshot()
+    start = time.perf_counter()
+    results = run_simulation(trace, G2GEpidemicForwarding(), config)
+    elapsed = time.perf_counter() - start
+    return elapsed, results, COUNTERS.diff(before)
+
+
+def hotpath_benchmark(
+    repeats: int = 5,
+    trace_name: str = BENCH_TRACE,
+    family: str = BENCH_FAMILY,
+    seed: int = BENCH_SEED,
+    profile: bool = True,
+) -> Dict[str, Any]:
+    """Time the single-run benchmark best-of-``repeats``.
+
+    Also runs one cProfile-instrumented repetition (unless ``profile``
+    is False) so the report carries the same methodology as the
+    recorded baseline's profiled figure.
+    """
+    evaluation_trace(trace_name)  # warm the lru-cached trace
+    times = []
+    results: Optional[SimulationResults] = None
+    counters: Dict[str, int] = {}
+    for _ in range(max(1, repeats)):
+        elapsed, results, counters = run_single(trace_name, family, seed)
+        times.append(elapsed)
+    report: Dict[str, Any] = {
+        "spec": {"trace": trace_name, "family": family, "seed": seed},
+        "wall_seconds_best": round(min(times), 3),
+        "wall_seconds_all": [round(t, 3) for t in times],
+        "metrics": {
+            "success_rate": round(results.success_rate, 6),
+            "cost": round(results.cost, 6),
+            "total_energy": round(results.total_energy, 6),
+        },
+        "counters": counters,
+    }
+    if profile:
+        profiler = cProfile.Profile()
+        start = time.perf_counter()
+        profiler.runcall(run_single, trace_name, family, seed)
+        report["profiled_seconds"] = round(time.perf_counter() - start, 3)
+    return report
+
+
+def _best_ns(func, number: int, repeat: int = 5) -> float:
+    """Best per-call time of ``func`` in nanoseconds."""
+    return min(timeit.repeat(func, number=number, repeat=repeat)) / number * 1e9
+
+
+def microbench_encoding(number: int = 20_000) -> Dict[str, float]:
+    """Cold vs cached ``ProofOfRelay.payload()`` (construction included)."""
+    msg_hash = digest(b"bench-message")
+
+    def cold():
+        return ProofOfRelay(
+            msg_hash=msg_hash, giver=7, taker=9, signed_at=1234.5
+        ).payload()
+
+    por = ProofOfRelay(msg_hash=msg_hash, giver=7, taker=9, signed_at=1234.5)
+    por.payload()  # populate the memo
+    return {
+        "encode_cold_ns": round(_best_ns(cold, number), 1),
+        "encode_cached_ns": round(_best_ns(por.payload, number), 1),
+    }
+
+
+def microbench_hmac(number: int = 20_000) -> Dict[str, float]:
+    """One-shot HMAC (raw key) vs the prepared-key copy path."""
+    key = digest(b"bench-key")
+    payload = b"x" * 96
+    prepared = prepare_hmac_key(key)
+    return {
+        "hmac_oneshot_ns": round(
+            _best_ns(lambda: hmac_digest(key, payload), number), 1
+        ),
+        "hmac_prepared_ns": round(
+            _best_ns(lambda: hmac_digest(prepared, payload), number), 1
+        ),
+    }
+
+
+def microbench_buffer_scan(
+    buffer_size: int = 64, number: int = 5_000
+) -> Dict[str, float]:
+    """Indexed ``relay_candidates`` vs the pre-overhaul full-buffer filter."""
+    results = SimulationResults()
+    node = NodeState(node_id=0)
+    for i in range(buffer_size):
+        message = Message(
+            msg_id=i, source=0, destination=buffer_size + 1,
+            created_at=0.0, ttl=3600.0,
+        )
+        node.store(StoredCopy(message=message, received_at=0.0), 0.0, results)
+    exclude = set(range(0, buffer_size, 2))
+    now = 10.0
+
+    def naive():
+        return [
+            copy
+            for copy in node.buffer.values()
+            if not copy.body_dropped
+            and copy.message.alive_at(now)
+            and copy.message.msg_id not in exclude
+        ]
+
+    def indexed():
+        return node.relay_candidates(now, exclude)
+
+    assert [c.message.msg_id for c in naive()] == [
+        c.message.msg_id for c in indexed()
+    ]
+    return {
+        "buffer_size": buffer_size,
+        "scan_naive_ns": round(_best_ns(naive, number), 1),
+        "scan_indexed_ns": round(_best_ns(indexed, number), 1),
+    }
+
+
+def build_report(repeats: int = 5, profile: bool = True) -> Dict[str, Any]:
+    """Assemble the full ``BENCH_hotpath.json`` payload."""
+    optimized = hotpath_benchmark(repeats=repeats, profile=profile)
+    report: Dict[str, Any] = {
+        "benchmark": "relay-loop hot path",
+        "environment": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+        },
+        "methodology": (
+            "wall_seconds_best is the best of N back-to-back runs "
+            "(container wall-clock is noisy; best-of-N is the stable "
+            "statistic); profiled_seconds is one cProfile run, which "
+            "inflates absolute time ~3-4x but ranks hotspots stably; "
+            "counters are deterministic for the seed and comparable "
+            "across machines"
+        ),
+        "baseline": BASELINE,
+        "optimized": optimized,
+        "speedup_wall": round(
+            BASELINE["wall_seconds_best"] / optimized["wall_seconds_best"], 2
+        ),
+    }
+    if "profiled_seconds" in optimized:
+        report["speedup_profiled"] = round(
+            BASELINE["profiled_seconds"] / optimized["profiled_seconds"], 2
+        )
+    report["microbenchmarks"] = {
+        "encoding": microbench_encoding(),
+        "hmac": microbench_hmac(),
+        "buffer_scan": microbench_buffer_scan(),
+    }
+    return report
+
+
+def write_report(
+    path: str, repeats: int = 5, profile: bool = True
+) -> Dict[str, Any]:
+    """Run the benchmark and write the JSON report to ``path``."""
+    report = build_report(repeats=repeats, profile=profile)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return report

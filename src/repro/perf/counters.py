@@ -1,0 +1,72 @@
+"""Operation counters for the relay-loop hot path.
+
+Wall-clock perf tests are flaky across machines; *operation counts*
+are deterministic for a fixed seed.  The hot modules increment a
+global :data:`COUNTERS` instance at the operations the hot-path
+overhaul targets (signature HMACs, wire encodings, buffer scans,
+relay-phase entries), so perf tests can assert "this run performed at
+most N signatures" instead of "this run took at most N seconds".
+
+The counters are always on: a slot attribute increment costs a few
+nanoseconds per op, which is noise next to the HMAC or encoding it
+counts.  Callers that want a per-run reading should ``reset()`` first
+or diff two ``snapshot()`` dicts — the simulator never resets them on
+its own (parallel experiment workers each run in their own process,
+so per-process totals stay meaningful).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Names of every tracked operation, in report order.
+FIELDS = (
+    "signatures",            # provider.sign calls (one HMAC each)
+    "verifications",         # provider.verify calls
+    "mac_cache_hits",        # verifications answered from the MAC memo
+    "hmac_prepares",         # HMAC objects built from a raw key
+    "hmac_copies",           # HMACs derived from a prepared key (fast path)
+    "encodings",             # wire._enc invocations (cache misses)
+    "encoding_cache_hits",   # payload()/wire_bytes() served from cache
+    "cert_checks",           # certificate-chain validations performed
+    "cert_cache_hits",       # chain validations skipped via the cert cache
+    "relay_entries",         # _relay_one invocations (post seen-filter)
+    "relay_handoffs",        # relays that completed with a hand-off
+    "buffer_scans",          # relay-candidate scans over a node buffer
+    "buffer_scanned",        # copies inspected across all buffer scans
+    "housekeeping_scans",    # full Δ2 purge sweeps actually executed
+    "pending_scans",         # _pending_givers evaluations actually run
+)
+
+
+class OpCounters:
+    """A bundle of monotonically increasing operation counters."""
+
+    __slots__ = FIELDS
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for name in FIELDS:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Current values as a plain dict (safe to mutate)."""
+        return {name: getattr(self, name) for name in FIELDS}
+
+    def diff(self, before: Dict[str, int]) -> Dict[str, int]:
+        """Per-counter increase since a previous :meth:`snapshot`."""
+        return {
+            name: getattr(self, name) - before.get(name, 0)
+            for name in FIELDS
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{n}={getattr(self, n)}" for n in FIELDS)
+        return f"OpCounters({inner})"
+
+
+#: The process-global counter instance the hot modules increment.
+COUNTERS = OpCounters()

@@ -9,15 +9,25 @@ energy/memory accounting.
 Buffer mutations go through the ``store`` / ``drop`` helpers so that
 memory byte-seconds are integrated correctly: every mutation first
 settles the buffer-size integral up to ``now``, then applies.
+
+Relay-eligible copies (body present, TTL not yet expired) are kept in
+a side index maintained by the same mutation helpers: an
+insertion-ordered dict of candidates plus a min-heap of expiry times
+for lazy TTL eviction.  ``live_copies``/``relay_candidates`` read the
+index instead of re-filtering the whole buffer, which turns the
+per-contact offer scan from O(buffer) ``alive_at`` calls into a dict
+iteration — the single biggest win of the relay-loop overhaul.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Set
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..adversaries.base import HONEST, Strategy
 from ..crypto.keys import NodeIdentity
+from ..perf.counters import COUNTERS
 from ..traces.trace import NodeId
 from .messages import Message, StoredCopy
 from .results import SimulationResults
@@ -48,6 +58,17 @@ class NodeState:
     extra: Dict[str, Any] = field(default_factory=dict)
     _buffer_bytes: int = 0
     _memory_clock: float = 0.0
+    # Relay-candidate index: insertion-ordered copies whose body is
+    # present and whose TTL has not been (lazily) found expired, plus
+    # the expiry heap driving the lazy eviction.  Maintained by
+    # store/drop/drop_body/flush; excluded from equality so two nodes
+    # with identical buffers compare equal regardless of scan history.
+    _relayable: Dict[int, StoredCopy] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _expiry_heap: List[Tuple[float, int]] = field(
+        default_factory=list, repr=False, compare=False
+    )
 
     def has_copy(self, msg_id: int) -> bool:
         """True while a live copy is buffered."""
@@ -61,10 +82,13 @@ class NodeState:
 
     def _settle_memory(self, now: float, results: SimulationResults) -> None:
         """Integrate buffer occupancy up to ``now``."""
-        dt = now - self._memory_clock
-        if dt > 0 and self._buffer_bytes:
-            results.add_memory(self.node_id, self._buffer_bytes * dt)
-        self._memory_clock = max(self._memory_clock, now)
+        clock = self._memory_clock
+        if now > clock:
+            if self._buffer_bytes:
+                results.add_memory(
+                    self.node_id, self._buffer_bytes * (now - clock)
+                )
+            self._memory_clock = now
 
     def store(
         self, copy: StoredCopy, now: float, results: SimulationResults
@@ -83,6 +107,11 @@ class NodeState:
         self.buffer[msg_id] = copy
         self.seen.add(msg_id)
         self._buffer_bytes += copy.message.size_bytes
+        if not copy.body_dropped:
+            self._relayable[msg_id] = copy
+            heapq.heappush(
+                self._expiry_heap, (copy.message.expires_at, msg_id)
+            )
         return copy
 
     def drop(
@@ -95,6 +124,7 @@ class NodeState:
             self._buffer_bytes -= (
                 0 if copy.body_dropped else copy.message.size_bytes
             )
+            self._relayable.pop(msg_id, None)
         return copy
 
     def drop_body(
@@ -111,21 +141,61 @@ class NodeState:
         self._settle_memory(now, results)
         copy.body_dropped = True
         self._buffer_bytes -= copy.message.size_bytes
+        self._relayable.pop(msg_id, None)
 
     def flush(self, now: float, results: SimulationResults) -> None:
         """Settle accounting and clear the buffer (eviction/run end)."""
         self._settle_memory(now, results)
         self.buffer.clear()
         self._buffer_bytes = 0
+        self._relayable.clear()
+        self._expiry_heap.clear()
 
-    def live_copies(self, now: float):
+    # -- relay-candidate index -----------------------------------------
+
+    def _evict_expired(self, now: float) -> None:
+        """Lazily drop index entries whose TTL has passed.
+
+        Heap entries can be stale (the copy was dropped or its body
+        discarded since the push); the index dict is authoritative, the
+        heap only schedules when to look.
+        """
+        heap = self._expiry_heap
+        relayable = self._relayable
+        while heap and heap[0][0] <= now:
+            _expiry, msg_id = heapq.heappop(heap)
+            copy = relayable.get(msg_id)
+            if copy is not None and copy.message.expires_at <= now:
+                del relayable[msg_id]
+
+    def live_copies(self, now: float) -> List[StoredCopy]:
         """Copies of messages still within their TTL, as a list.
 
         A list (not a view) so protocols may mutate the buffer while
-        iterating.
+        iterating.  Order matches buffer insertion order, exactly as
+        the pre-index full-buffer filter produced.
         """
+        self._evict_expired(now)
+        COUNTERS.buffer_scans += 1
+        COUNTERS.buffer_scanned += len(self._relayable)
+        return list(self._relayable.values())
+
+    def relay_candidates(
+        self, now: float, exclude: Set[int]
+    ) -> List[StoredCopy]:
+        """Live copies whose message id is not in ``exclude``.
+
+        The per-pair offer scan: ``exclude`` is the taker's ``seen``
+        set, so the relay phase is only entered for messages the taker
+        would actually accept (step 1's "have you handled H(m)?"
+        answered in bulk, before any signing work).
+        """
+        self._evict_expired(now)
+        relayable = self._relayable
+        COUNTERS.buffer_scans += 1
+        COUNTERS.buffer_scanned += len(relayable)
         return [
             copy
-            for copy in self.buffer.values()
-            if copy.message.alive_at(now) and not copy.body_dropped
+            for msg_id, copy in relayable.items()
+            if msg_id not in exclude
         ]

@@ -39,7 +39,27 @@ class EvaluationWindow:
         return self.length - SILENT_TAIL
 
     def slice(self, trace: ContactTrace) -> ContactTrace:
-        """Clip ``trace`` to this window (times shifted to 0)."""
+        """Clip ``trace`` to this window (times shifted to 0).
+
+        Raises:
+            TypeError: if handed a :class:`~repro.traces.synthetic.SyntheticTrace`
+                bundle instead of the :class:`ContactTrace` it wraps — a
+                recurring slip, since ``trace_by_name`` returns the
+                bundle.  Pass its ``.trace`` attribute.
+        """
+        if not isinstance(trace, ContactTrace):
+            detail = ""
+            if hasattr(trace, "trace") and isinstance(
+                getattr(trace, "trace"), ContactTrace
+            ):
+                detail = (
+                    " — this looks like a SyntheticTrace bundle; pass its"
+                    " .trace attribute instead"
+                )
+            raise TypeError(
+                f"EvaluationWindow.slice expects a ContactTrace, got"
+                f" {type(trace).__name__}{detail}"
+            )
         return trace.window(self.start, self.end)
 
 

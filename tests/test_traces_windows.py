@@ -1,5 +1,7 @@
 """Tests for evaluation-window selection."""
 
+import pytest
+
 from repro.traces import (
     ContactTrace,
     EvaluationWindow,
@@ -74,3 +76,31 @@ class TestActiveWindows:
             )
             == []
         )
+
+
+class TestSliceTypeGuard:
+    def test_synthetic_bundle_rejected_with_hint(self):
+        from repro.traces.synthetic import SyntheticTrace
+
+        bundle = SyntheticTrace(
+            trace=clustered_trace(), assignment=None, config=None
+        )
+        w = EvaluationWindow(start=0.0, length=1_000.0)
+        with pytest.raises(TypeError, match=r"\.trace attribute"):
+            w.slice(bundle)
+
+    def test_unwrapped_trace_accepted(self):
+        from repro.traces.synthetic import SyntheticTrace
+
+        bundle = SyntheticTrace(
+            trace=clustered_trace(), assignment=None, config=None
+        )
+        w = EvaluationWindow(start=0.0, length=1_000.0)
+        assert w.slice(bundle.trace).duration <= 1_000.0
+
+    def test_plain_wrong_type_has_no_hint(self):
+        w = EvaluationWindow(start=0.0, length=1_000.0)
+        with pytest.raises(TypeError) as excinfo:
+            w.slice([1, 2, 3])
+        assert "ContactTrace" in str(excinfo.value)
+        assert ".trace attribute" not in str(excinfo.value)
