@@ -1,0 +1,40 @@
+"""Static analysis for the reproduction's determinism invariants.
+
+The simulator's headline claims — bit-identical trace-driven runs per
+seed, immutable signed wire artifacts, honest op-count budgets — are
+*invariants*, and the test suite can only spot-check them dynamically.
+This package enforces them statically with a small AST lint framework
+(:mod:`repro.analysis.framework`), six repo-specific rules
+(:mod:`repro.analysis.rules`, ids ``G2G001``–``G2G006``), and a runner
+(:mod:`repro.analysis.runner`) behind the ``repro lint`` CLI command.
+
+Rules are suppressed per line with pragma comments::
+
+    value = time.time()  # g2g: allow(G2G002: wall clock feeds a log line)
+    except Exception:  # g2g: allow-broad-except(plugin code may raise anything)
+
+See ``docs/development.md`` for the full rule catalogue.
+"""
+
+from .framework import (
+    RULE_REGISTRY,
+    LintModule,
+    Rule,
+    Violation,
+    register_rule,
+)
+from .runner import lint_paths, lint_source, render_report
+
+# Importing the rules module populates RULE_REGISTRY.
+from . import rules as _rules  # noqa: F401  (import for side effect)
+
+__all__ = [
+    "LintModule",
+    "Rule",
+    "RULE_REGISTRY",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+    "render_report",
+]

@@ -1,0 +1,288 @@
+"""AST lint framework: violations, rules, pragmas, module model.
+
+The framework is deliberately tiny — a rule is a class with a
+``rule_id``, a one-line ``summary``, and a ``check`` generator over a
+parsed :class:`LintModule`.  What it adds over a bare ``ast.walk``:
+
+* **Registry.** ``@register_rule`` collects rule classes into
+  :data:`RULE_REGISTRY` so the runner and the CLI's ``--select`` /
+  ``--list-rules`` see one authoritative rule set.
+* **Package scoping.** Most invariants only bind inside the simulation
+  core (``sim/``, ``core/``, ``crypto/``, …).  :class:`LintModule`
+  locates the ``repro`` package root inside any file path — including
+  test fixtures laid out under a literal ``repro/`` directory — and
+  exposes the package-relative path for rules to scope on.
+* **Suppressions.** A violation on line *N* is silenced by a pragma
+  comment on line *N* or *N - 1*::
+
+      # g2g: allow(G2G002: reason why this nondeterminism is safe)
+      # g2g: allow-broad-except(reason)          (alias for G2G006)
+
+  Pragmas carry their justification in the source, next to the code
+  they excuse, where review sees it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+#: Every registered rule class, keyed by rule id (``G2G001`` …).
+RULE_REGISTRY: Dict[str, Type["Rule"]] = {}
+
+_PRAGMA = re.compile(
+    r"#\s*g2g:\s*allow(?P<broad>-broad-except)?\s*\((?P<body>[^)]*)\)"
+)
+_RULE_ID = re.compile(r"G2G\d{3}")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule finding at a source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    column: int
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: RULEID message`` (clickable in editors)."""
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.rule_id} {self.message}"
+        )
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> rule ids suppressed by a pragma on that line.
+
+    ``# g2g: allow(G2G001, G2G003: reason)`` names one or more rule
+    ids; ``# g2g: allow-broad-except(reason)`` is shorthand for
+    ``allow(G2G006)`` with the reason as the whole body.  Pragmas with
+    no recognizable rule id suppress nothing (the underlying violation
+    still fires, which is how a typo surfaces).
+    """
+    table: Dict[int, Set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA.search(text)
+        if match is None:
+            continue
+        if match.group("broad") is not None:
+            rule_ids = {"G2G006"}
+        else:
+            rule_ids = set(_RULE_ID.findall(match.group("body")))
+        if rule_ids:
+            table.setdefault(lineno, set()).update(rule_ids)
+    return table
+
+
+@dataclass
+class LintModule:
+    """One parsed source file plus the context rules scope on.
+
+    Attributes:
+        path: filesystem path (display only).
+        source: full source text.
+        tree: parsed AST.
+        rel: path relative to the ``repro`` package root, POSIX-style
+            (``"sim/node.py"``), or None when the file is not under a
+            ``repro`` directory — package-scoped rules skip such files.
+        suppressions: line -> suppressed rule ids (see
+            :func:`parse_suppressions`).
+    """
+
+    path: str
+    source: str
+    tree: ast.Module
+    rel: Optional[str]
+    suppressions: Dict[int, Set[str]]
+
+    @classmethod
+    def from_source(
+        cls, source: str, path: str, rel: Optional[str] = None
+    ) -> "LintModule":
+        """Parse ``source``; ``rel`` overrides path-derived packaging."""
+        if rel is None:
+            rel = package_relative(Path(path))
+        return cls(
+            path=path,
+            source=source,
+            tree=ast.parse(source, filename=path),
+            rel=rel,
+            suppressions=parse_suppressions(source),
+        )
+
+    @classmethod
+    def from_path(cls, path: Path) -> "LintModule":
+        return cls.from_source(path.read_text(), str(path))
+
+    @property
+    def package(self) -> Optional[str]:
+        """First package segment under ``repro`` (``"sim"``), if any."""
+        if self.rel is None or "/" not in self.rel:
+            return None
+        return self.rel.split("/", 1)[0]
+
+    def in_packages(self, names: Sequence[str]) -> bool:
+        """Whether this module lives under one of the named packages."""
+        return self.package in names
+
+    def suppressed(self, violation: Violation) -> bool:
+        """Whether a pragma on the line (or the line above) covers it."""
+        for lineno in (violation.line, violation.line - 1):
+            if violation.rule_id in self.suppressions.get(lineno, ()):
+                return True
+        return False
+
+
+def package_relative(path: Path) -> Optional[str]:
+    """Path below the innermost ``repro`` directory, or None.
+
+    ``src/repro/sim/node.py`` -> ``"sim/node.py"``; fixture trees that
+    mirror the layout (``tests/fixtures/lint/repro/sim/bad.py``)
+    classify identically, so scoped rules are testable.
+    """
+    parts = path.parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            rel = parts[i + 1:]
+            return "/".join(rel) if rel else None
+    return None
+
+
+class Rule:
+    """Base class: one statically checkable invariant.
+
+    Subclasses set :attr:`rule_id` / :attr:`summary` and implement
+    :meth:`check` as a generator of :class:`Violation`.  Rules are
+    stateless — one instance may lint many modules.
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+
+    def check(self, module: LintModule) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(
+        self, module: LintModule, node: ast.AST, message: str
+    ) -> Violation:
+        """A :class:`Violation` at ``node``'s location."""
+        return Violation(
+            rule_id=self.rule_id,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to :data:`RULE_REGISTRY`."""
+    if not cls.rule_id or not _RULE_ID.fullmatch(cls.rule_id):
+        raise ValueError(f"rule id must match G2GNNN, got {cls.rule_id!r}")
+    if cls.rule_id in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    RULE_REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def check_module(
+    module: LintModule, rule_ids: Optional[Sequence[str]] = None
+) -> List[Violation]:
+    """Run (selected) registered rules over one module.
+
+    Violations silenced by pragmas are dropped; the rest come back
+    sorted by location then rule id.
+    """
+    selected = sorted(rule_ids) if rule_ids is not None else sorted(RULE_REGISTRY)
+    found: List[Violation] = []
+    for rule_id in selected:
+        try:
+            rule_cls = RULE_REGISTRY[rule_id]
+        except KeyError:
+            raise ValueError(
+                f"unknown rule {rule_id!r}; known: {', '.join(sorted(RULE_REGISTRY))}"
+            ) from None
+        for violation in rule_cls().check(module):
+            if not module.suppressed(violation):
+                found.append(violation)
+    found.sort(key=lambda v: (v.line, v.column, v.rule_id))
+    return found
+
+
+# -- shared AST helpers used by the concrete rules ----------------------
+
+
+def imported_origins(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> dotted origin for every top-level-style import.
+
+    ``import random as rnd`` maps ``rnd -> random``; ``from random
+    import Random`` maps ``Random -> random.Random``.  Relative imports
+    are skipped (rules only care about stdlib origins).
+    """
+    origins: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".", 1)[0]
+                origins[local] = alias.name if alias.asname else local
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue
+            for alias in node.names:
+                origins[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return origins
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def resolve_call(
+    node: ast.AST, origins: Dict[str, str]
+) -> Optional[str]:
+    """Fully qualified dotted name of a callable reference.
+
+    The chain's first segment is rewritten through the module's import
+    table, so ``rnd.randint`` (after ``import random as rnd``) resolves
+    to ``random.randint`` and a local ``self.rng.randint`` resolves to
+    None (its root is not an import).
+    """
+    name = dotted_name(node)
+    if name is None:
+        return None
+    head, _, tail = name.partition(".")
+    origin = origins.get(head)
+    if origin is None:
+        return None
+    return f"{origin}.{tail}" if tail else origin
+
+
+def function_stack(tree: ast.Module) -> Iterator[Tuple[ast.AST, Tuple[str, ...]]]:
+    """Yield ``(node, enclosing function names)`` over the whole tree."""
+    def walk(node: ast.AST, stack: Tuple[str, ...]) -> Iterator[
+        Tuple[ast.AST, Tuple[str, ...]]
+    ]:
+        for child in ast.iter_child_nodes(node):
+            yield child, stack
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from walk(child, stack + (child.name,))
+            else:
+                yield from walk(child, stack)
+
+    yield from walk(tree, ())

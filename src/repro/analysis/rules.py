@@ -1,0 +1,350 @@
+"""The G2G rule set: statically enforced reproduction invariants.
+
+Each rule guards one way a change could silently invalidate the
+paper's reproduced numbers (Table 1, Figs. 3–8) or its Nash-equilibrium
+argument:
+
+* :class:`GlobalRngRule` (G2G001) — one stray draw from the process-
+  global RNG desynchronizes every later draw in the run.
+* :class:`WallClockRule` (G2G002) — wall-clock or OS-entropy reads make
+  a "same seed" rerun a different experiment.
+* :class:`UnorderedIterationRule` (G2G003) — set iteration order varies
+  with hash randomization; feeding it into RNG draws or message
+  ordering breaks bit-identical replay.
+* :class:`FrozenMutationRule` (G2G004) — signed wire/proof artifacts
+  are immutable once built; mutation outside the two sanctioned
+  signature-backfill sites would let state drift from its signature.
+* :class:`CounterCoverageRule` (G2G005) — the op-count perf budgets are
+  only honest while every hot module actually increments its counters.
+* :class:`BroadExceptRule` (G2G006) — ``except Exception`` hides the
+  very determinism bugs the rest of the rule set exists to catch.
+
+See ``docs/development.md`` for the user-facing catalogue.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Set
+
+from ..perf.counters import FIELDS, HOT_MODULE_COUNTERS
+from .framework import (
+    LintModule,
+    Rule,
+    Violation,
+    dotted_name,
+    function_stack,
+    imported_origins,
+    register_rule,
+    resolve_call,
+)
+
+#: Packages where simulation-visible randomness must come from an
+#: injected, seeded ``random.Random`` instance.
+SEEDED_RNG_PACKAGES = (
+    "sim", "core", "crypto", "protocols", "traces", "adversaries",
+)
+
+#: Packages forming the relay-loop hot path, where iteration order is
+#: simulation-visible (message ordering, RNG draw order).
+HOT_PACKAGES = ("sim", "core", "protocols")
+
+#: Module-global ``random`` functions that draw from (or reseed) the
+#: process-wide RNG.
+GLOBAL_RNG_FUNCS = frozenset({
+    "betavariate", "choice", "choices", "expovariate", "gauss",
+    "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+    "randbytes", "randint", "random", "randrange", "sample", "seed",
+    "shuffle", "triangular", "uniform", "vonmisesvariate",
+    "weibullvariate",
+})
+
+#: Call targets that read the wall clock or OS entropy.
+WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns",
+    "os.urandom", "uuid.uuid1", "uuid.uuid4",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: The only files allowed to call ``object.__setattr__`` outside a
+#: ``__post_init__`` constructor: the sanctioned signature-backfill
+#: sites for frozen wire/proof artifacts.
+SANCTIONED_SETATTR_FILES = ("core/wire.py", "core/proofs.py")
+
+
+@register_rule
+class GlobalRngRule(Rule):
+    """G2G001: no draws from the process-global ``random`` module."""
+
+    rule_id = "G2G001"
+    summary = (
+        "global-RNG call (random.random()/randint()/seed()/...) or "
+        "unseeded random.Random() in a determinism-scoped package"
+    )
+
+    def check(self, module: LintModule) -> Iterator[Violation]:
+        if not module.in_packages(SEEDED_RNG_PACKAGES):
+            return
+        origins = imported_origins(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call(node.func, origins)
+            if target is None or not target.startswith("random."):
+                continue
+            func = target[len("random."):]
+            if func in GLOBAL_RNG_FUNCS:
+                yield self.violation(
+                    module, node,
+                    f"call to global RNG random.{func}(); draw from an "
+                    f"injected, seeded random.Random instance instead",
+                )
+            elif func == "SystemRandom":
+                yield self.violation(
+                    module, node,
+                    "random.SystemRandom draws OS entropy and can never "
+                    "replay; use a seeded random.Random",
+                )
+            elif func == "Random" and not node.args and not node.keywords:
+                yield self.violation(
+                    module, node,
+                    "unseeded random.Random() seeds from OS entropy; "
+                    "pass an explicit seed or accept an injected rng",
+                )
+
+
+@register_rule
+class WallClockRule(Rule):
+    """G2G002: no wall-clock / environment nondeterminism."""
+
+    rule_id = "G2G002"
+    summary = (
+        "wall-clock or OS-entropy read (time.time, datetime.now, "
+        "os.urandom, secrets) outside perf/ and experiments/report"
+    )
+
+    def _exempt(self, module: LintModule) -> bool:
+        return (
+            module.package == "perf"
+            or module.rel == "experiments/report.py"
+        )
+
+    def check(self, module: LintModule) -> Iterator[Violation]:
+        if module.rel is None or self._exempt(module):
+            return
+        origins = imported_origins(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".", 1)[0]
+                    if root == "secrets":
+                        yield self.violation(
+                            module, node,
+                            "the secrets module is OS entropy by design "
+                            "and can never replay deterministically",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module is not None and (
+                    node.module.split(".", 1)[0] == "secrets"
+                ):
+                    yield self.violation(
+                        module, node,
+                        "the secrets module is OS entropy by design "
+                        "and can never replay deterministically",
+                    )
+            elif isinstance(node, ast.Call):
+                target = resolve_call(node.func, origins)
+                if target in WALL_CLOCK_CALLS:
+                    yield self.violation(
+                        module, node,
+                        f"{target}() is nondeterministic across runs; "
+                        f"derive times from the simulation clock (or move "
+                        f"the read into perf/ or experiments/report)",
+                    )
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    """Syntactically-certain set expressions (order not guaranteed)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in (
+            "intersection", "union", "difference", "symmetric_difference",
+        ):
+            return True
+    return False
+
+
+@register_rule
+class UnorderedIterationRule(Rule):
+    """G2G003: no iteration over set expressions in hot modules."""
+
+    rule_id = "G2G003"
+    summary = (
+        "loop iterates directly over a set expression in a hot module; "
+        "wrap it in sorted() so order survives hash randomization"
+    )
+
+    def check(self, module: LintModule) -> Iterator[Violation]:
+        if not module.in_packages(HOT_PACKAGES):
+            return
+        for node in ast.walk(module.tree):
+            iters = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+            ):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if _is_set_expression(it):
+                    yield self.violation(
+                        module, it,
+                        "iterating a set yields hash order, which leaks "
+                        "into RNG-draw and message ordering; iterate "
+                        "sorted(...) instead",
+                    )
+
+
+@register_rule
+class FrozenMutationRule(Rule):
+    """G2G004: ``object.__setattr__`` only at the sanctioned sites."""
+
+    rule_id = "G2G004"
+    summary = (
+        "object.__setattr__ outside core/wire.py, core/proofs.py, or a "
+        "__post_init__ constructor mutates a frozen artifact"
+    )
+
+    def check(self, module: LintModule) -> Iterator[Violation]:
+        if module.rel in SANCTIONED_SETATTR_FILES:
+            return
+        for node, stack in function_stack(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if dotted_name(node.func) != "object.__setattr__":
+                continue
+            if "__post_init__" in stack:
+                # Frozen-dataclass self-construction, not mutation of
+                # an artifact that is already on the wire.
+                continue
+            yield self.violation(
+                module, node,
+                "frozen wire/proof artifacts are immutable once signed; "
+                "only the signature-backfill sites in core/wire.py and "
+                "core/proofs.py may call object.__setattr__",
+            )
+
+
+@register_rule
+class CounterCoverageRule(Rule):
+    """G2G005: hot modules must increment their declared counters."""
+
+    rule_id = "G2G005"
+    summary = (
+        "a hot module stopped incrementing a COUNTERS field declared "
+        "for it in repro.perf.counters (or increments an unknown one)"
+    )
+
+    def _increments(self, tree: ast.Module) -> Dict[str, int]:
+        """COUNTERS fields augmented in this module -> first line."""
+        seen: Dict[str, int] = {}
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.AugAssign):
+                continue
+            target = node.target
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "COUNTERS"
+            ):
+                seen.setdefault(target.attr, target.lineno)
+        return seen
+
+    def check(self, module: LintModule) -> Iterator[Violation]:
+        incremented = self._increments(module.tree)
+        for name, lineno in sorted(incremented.items(), key=lambda kv: kv[1]):
+            if name not in FIELDS:
+                yield Violation(
+                    rule_id=self.rule_id, path=module.path, line=lineno,
+                    column=1,
+                    message=(
+                        f"COUNTERS.{name} is not declared in "
+                        f"repro.perf.counters.FIELDS — a typo here would "
+                        f"fail at runtime (OpCounters uses __slots__)"
+                    ),
+                )
+        required = HOT_MODULE_COUNTERS.get(module.rel or "")
+        if required is None:
+            return
+        missing = [name for name in required if name not in incremented]
+        if missing:
+            yield Violation(
+                rule_id=self.rule_id, path=module.path, line=1, column=1,
+                message=(
+                    f"hot module no longer increments COUNTERS "
+                    f"{', '.join(missing)} declared for it in "
+                    f"repro.perf.counters.HOT_MODULE_COUNTERS — the "
+                    f"op-budget perf tests are no longer measuring it"
+                ),
+            )
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body contains a bare ``raise``."""
+    return any(
+        isinstance(node, ast.Raise) and node.exc is None
+        for node in ast.walk(handler)
+    )
+
+
+def _broad_names(type_node: ast.AST) -> Set[str]:
+    nodes = (
+        type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+    )
+    return {
+        node.id
+        for node in nodes
+        if isinstance(node, ast.Name)
+        and node.id in ("Exception", "BaseException")
+    }
+
+
+@register_rule
+class BroadExceptRule(Rule):
+    """G2G006: no silent ``except Exception`` without a pragma."""
+
+    rule_id = "G2G006"
+    summary = (
+        "broad except (bare / Exception / BaseException) that neither "
+        "re-raises nor carries # g2g: allow-broad-except(reason)"
+    )
+
+    def check(self, module: LintModule) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                caught = "bare except:"
+            else:
+                broad = _broad_names(node.type)
+                if not broad:
+                    continue
+                caught = f"except {'/'.join(sorted(broad))}"
+            if _reraises(node):
+                # Cleanup-and-reraise propagates the error; nothing is
+                # being swallowed.
+                continue
+            yield self.violation(
+                module, node,
+                f"{caught} swallows programming errors alongside the "
+                f"failures it meant to tolerate; narrow the exception "
+                f"types or add # g2g: allow-broad-except(reason)",
+            )

@@ -1,0 +1,93 @@
+"""Lint runner: file discovery, batch checking, report rendering.
+
+The runner is what ``repro lint`` calls: it expands the given paths to
+Python files (skipping caches and hidden directories), parses each one
+into a :class:`~repro.analysis.framework.LintModule`, and runs the
+registered rules.  Unparseable files are reported as ``G2G000``
+violations rather than crashing the batch — a syntax error in one file
+must not hide findings in the rest.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from .framework import LintModule, Violation, check_module
+
+PathLike = Union[str, Path]
+
+#: Directory names never descended into during discovery.
+SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", ".pytest_cache"})
+
+
+def iter_python_files(paths: Iterable[PathLike]) -> List[Path]:
+    """Expand files/directories to a sorted, de-duplicated file list."""
+    found = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not SKIP_DIRS.intersection(candidate.parts):
+                    found.add(candidate)
+        elif path.suffix == ".py":
+            found.add(path)
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+    return sorted(found)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rel: Optional[str] = None,
+    select: Optional[Sequence[str]] = None,
+) -> List[Violation]:
+    """Lint one source string (``rel`` positions it inside ``repro``)."""
+    return check_module(
+        LintModule.from_source(source, path, rel=rel), rule_ids=select
+    )
+
+
+def lint_paths(
+    paths: Iterable[PathLike],
+    select: Optional[Sequence[str]] = None,
+) -> List[Violation]:
+    """Lint every Python file under ``paths``.
+
+    Returns violations sorted by file then location.  A file that does
+    not parse contributes a single ``G2G000`` violation carrying the
+    syntax error.
+    """
+    violations: List[Violation] = []
+    for path in iter_python_files(paths):
+        try:
+            module = LintModule.from_path(path)
+        except SyntaxError as exc:
+            violations.append(
+                Violation(
+                    rule_id="G2G000",
+                    path=str(path),
+                    line=exc.lineno or 1,
+                    column=(exc.offset or 0) + 1,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        violations.extend(check_module(module, rule_ids=select))
+    return violations
+
+
+def render_report(violations: Sequence[Violation]) -> str:
+    """Human-readable multi-line report with a trailing summary."""
+    if not violations:
+        return "no G2G violations"
+    lines = [v.render() for v in violations]
+    by_rule: dict = {}
+    for v in violations:
+        by_rule[v.rule_id] = by_rule.get(v.rule_id, 0) + 1
+    summary = ", ".join(
+        f"{count} x {rule_id}" for rule_id, count in sorted(by_rule.items())
+    )
+    lines.append(f"{len(violations)} violations ({summary})")
+    return "\n".join(lines)

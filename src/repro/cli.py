@@ -12,6 +12,8 @@ Commands:
 * ``communities`` — run k-clique community detection on a trace.
 * ``perf`` — time the relay-loop hot-path benchmark and write
   ``BENCH_hotpath.json``.
+* ``lint`` — run the G2G determinism/invariant lint rules over source
+  trees (see ``docs/development.md``).
 
 Examples::
 
@@ -132,6 +134,23 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument(
         "--no-profile", action="store_true",
         help="skip the cProfile-instrumented repetition",
+    )
+
+    lint = sub.add_parser(
+        "lint", help="run the G2G determinism/invariant lint rules"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule ids to run (default: all), "
+        "e.g. G2G001,G2G006",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
     )
 
     communities = sub.add_parser(
@@ -316,6 +335,24 @@ def cmd_perf(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from .analysis import RULE_REGISTRY, lint_paths, render_report
+
+    if args.list_rules:
+        for rule_id, rule_cls in sorted(RULE_REGISTRY.items()):
+            print(f"{rule_id}  {rule_cls.summary}")
+        return 0
+    select = None
+    if args.select:
+        select = [r.strip() for r in args.select.split(",") if r.strip()]
+    try:
+        violations = lint_paths(args.paths, select=select)
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
+    print(render_report(violations))
+    return 1 if violations else 0
+
+
 def cmd_communities(args) -> int:
     synthetic = trace_by_name(args.trace)
     cmap = CommunityMap.detect(
@@ -341,6 +378,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "communities": cmd_communities,
         "sweep": cmd_sweep,
         "perf": cmd_perf,
+        "lint": cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -36,7 +36,9 @@ from .wire import (
 )
 
 __all__ = [
+    "BestResponseReport",
     "BlacklistService",
+    "DeviationOutcome",
     "G2GDelegationForwarding",
     "G2GEpidemicForwarding",
     "Give2GetBase",
@@ -51,6 +53,8 @@ __all__ = [
     "SealedMessage",
     "StorageChallenge",
     "StorageProof",
+    "UtilityModel",
+    "best_response_check",
     "make_proof_of_relay",
     "make_quality_declaration",
     "make_storage_proof",

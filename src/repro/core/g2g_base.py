@@ -34,7 +34,7 @@ from ..crypto.hashing import HeavyHmac
 from ..crypto.keys import Authority, NodeIdentity
 from ..crypto.provider import CryptoProvider, SimulatedCryptoProvider
 from ..perf.counters import COUNTERS
-from ..protocols.base import ForwardingProtocol, make_room
+from ..protocols.base import ForwardingProtocol, SimulationContext, make_room
 from ..sim.eventlog import EventType
 from ..sim.messages import Message, StoredCopy
 from ..sim.node import NodeState
@@ -131,7 +131,7 @@ class Give2GetBase(ForwardingProtocol):
 
     # -- lifecycle ------------------------------------------------------
 
-    def bind(self, ctx) -> None:
+    def bind(self, ctx: SimulationContext) -> None:
         super().bind(ctx)
         provider = self._provider or SimulatedCryptoProvider(ctx.rng)
         self.authority = Authority(provider)

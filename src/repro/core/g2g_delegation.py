@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from typing import Any, List, Optional
 
+from ..crypto.provider import CryptoProvider
+from ..protocols.base import SimulationContext
 from ..protocols.quality import QualityTracker
 from ..sim.messages import Message, StoredCopy
 from ..sim.node import NodeState
@@ -50,7 +52,7 @@ class G2GDelegationForwarding(Give2GetBase):
     def __init__(
         self,
         variant: str = "last_contact",
-        provider=None,
+        provider: Optional[CryptoProvider] = None,
         testers: str = "source",
     ) -> None:
         super().__init__(provider=provider, testers=testers)
@@ -58,7 +60,7 @@ class G2GDelegationForwarding(Give2GetBase):
         self.name = f"g2g_delegation_{variant}"
         self.tracker: Optional[QualityTracker] = None
 
-    def bind(self, ctx) -> None:
+    def bind(self, ctx: SimulationContext) -> None:
         super().bind(ctx)
         self.tracker = QualityTracker(
             self.variant, ctx.config.quality_timeframe

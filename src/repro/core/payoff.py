@@ -25,10 +25,11 @@ Utility model (simulation counterpart of the paper's ``f_i``)::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..adversaries.base import Strategy
 from ..adversaries.factory import make_strategy
+from ..sim.config import SimulationConfig
 from ..sim.engine import Simulation
 from ..sim.results import SimulationResults
 from ..traces.trace import ContactTrace, NodeId
@@ -121,12 +122,12 @@ class BestResponseReport:
 def best_response_check(
     trace: ContactTrace,
     protocol_factory: Callable[[], object],
-    config,
-    deviations: tuple = ("dropper",),
+    config: SimulationConfig,
+    deviations: Tuple[str, ...] = ("dropper",),
     probe_nodes: Optional[List[NodeId]] = None,
     model: Optional[UtilityModel] = None,
     community: Optional[object] = None,
-    seeds: tuple = (1, 2, 3),
+    seeds: Tuple[int, ...] = (1, 2, 3),
 ) -> BestResponseReport:
     """Compare honest vs unilaterally-deviating *expected* utility.
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 import random
 from typing import Optional
 
+from ..crypto.hashing import HeavyHmac
 from ..crypto.keys import Certificate, NodeIdentity
 from ..traces.trace import NodeId
 from .wire import (
@@ -163,7 +164,7 @@ def make_storage_proof(
     msg_hash: bytes,
     message_bytes: bytes,
     seed: bytes,
-    heavy_hmac,
+    heavy_hmac: HeavyHmac,
 ) -> StorageProof:
     """Answer a storage challenge (the heavy HMAC computation)."""
     mac = heavy_hmac.compute(message_bytes, seed)
@@ -179,7 +180,7 @@ def verify_storage_proof(
     prover_cert: Certificate,
     proof: StorageProof,
     message_bytes: bytes,
-    heavy_hmac,
+    heavy_hmac: HeavyHmac,
 ) -> bool:
     """Recompute the heavy HMAC and check the prover's signature."""
     if not verifier.verify_peer(prover_cert, proof.payload(), proof.signature):

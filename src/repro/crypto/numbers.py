@@ -87,7 +87,10 @@ def is_probable_prime(n: int, rng: Optional[random.Random] = None) -> bool:
         if n % p == 0:
             return False
     if rng is None:
-        rng = random.Random()
+        # Deterministic default: Miller-Rabin witness choice must not
+        # make "same seed" runs diverge (fixed witnesses are as strong
+        # as random ones for non-adversarial inputs).
+        rng = random.Random(0)
 
     # Write n - 1 = d * 2^s with d odd.
     d = n - 1

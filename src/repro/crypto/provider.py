@@ -82,7 +82,9 @@ class RealCryptoProvider(CryptoProvider):
         group: DhGroup | None = None,
     ) -> None:
         self._key_bits = key_bits
-        self._rng = rng if rng is not None else random.Random()
+        # A fixed-seed default keeps unseeded construction replayable;
+        # the simulation always injects ctx.rng.
+        self._rng = rng if rng is not None else random.Random(0)
         self._group = group if group is not None else default_group()
 
     def generate_keypair(self) -> Tuple[rsa.RsaPrivateKey, rsa.RsaPublicKey]:
@@ -166,7 +168,9 @@ class SimulatedCryptoProvider(CryptoProvider):
     """
 
     def __init__(self, rng: random.Random | None = None) -> None:
-        self._rng = rng if rng is not None else random.Random()
+        # A fixed-seed default keeps unseeded construction replayable;
+        # the simulation always injects ctx.rng.
+        self._rng = rng if rng is not None else random.Random(0)
         self._secrets: Dict[int, bytes] = {}
         # Prepared signing keys: HMAC(digest(b"sign|" + secret)) with
         # the key schedule pre-absorbed, built once per key_id.  Each

@@ -133,8 +133,8 @@ def generate_keypair(
     Args:
         bits: modulus size in bits (>= 64; production-grade use would
             pick >= 2048, simulations default to 512 for speed).
-        rng: deterministic randomness source; a fresh ``random.Random``
-            is created when omitted.
+        rng: deterministic randomness source; a fixed-seed
+            ``random.Random(0)`` is used when omitted.
 
     Returns:
         The private key (which exposes ``.public_key``).
@@ -142,7 +142,9 @@ def generate_keypair(
     if bits < 64:
         raise ValueError(f"modulus must be >= 64 bits, got {bits}")
     if rng is None:
-        rng = random.Random()
+        # Deterministic default so an omitted rng can never make two
+        # "identical" simulation runs generate different keys.
+        rng = random.Random(0)
     half = bits // 2
     while True:
         p = random_prime(half, rng)

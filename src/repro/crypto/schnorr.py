@@ -162,10 +162,12 @@ class SchnorrCryptoProvider(CryptoProvider):
         rng: random.Random | None = None,
         group: DhGroup | None = None,
     ) -> None:
-        self._rng = rng if rng is not None else random.Random()
+        # A fixed-seed default keeps unseeded construction replayable;
+        # the simulation always injects ctx.rng.
+        self._rng = rng if rng is not None else random.Random(0)
         self._scheme = SchnorrScheme(group)
 
-    def generate_keypair(self):
+    def generate_keypair(self) -> Tuple[SchnorrPrivateKey, SchnorrPublicKey]:
         return self._scheme.generate_keypair(self._rng)
 
     def fingerprint(self, public_key: SchnorrPublicKey) -> bytes:

@@ -130,7 +130,12 @@ class RunCache:
             return None
         try:
             results = results_from_dict(json.loads(path.read_text()))
-        except Exception:
+        except (OSError, ValueError, LookupError, TypeError, AttributeError):
+            # Everything a truncated, garbled, or wrong-schema entry
+            # can raise on read/deserialize (JSONDecodeError is a
+            # ValueError; missing fields raise KeyError/TypeError).
+            # Anything else — MemoryError, KeyboardInterrupt, a
+            # genuine bug in results_from_dict — must propagate.
             self.stats.corrupt += 1
             self.stats.misses += 1
             return None

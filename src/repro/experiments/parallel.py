@@ -110,6 +110,12 @@ def execute_request(
             default the factory is resolved from the catalog by
             ``request.protocol_name``.
     """
+    if not isinstance(request, RunRequest):
+        raise TypeError(
+            f"execute_request expects a RunRequest, got"
+            f" {type(request).__name__} — build one with"
+            f" RunRequest(trace_name=..., family=..., protocol_name=...)"
+        )
     if factory is None:
         if request.protocol_name is None:
             raise ValueError(
@@ -197,13 +203,26 @@ def run_requests(
     bit-identical.
 
     Raises:
+        TypeError: if ``requests`` is a single :class:`RunRequest` (wrap
+            it in a list) or contains non-``RunRequest`` items.
         Exception: the first (in request order) worker exception, after
             every other run in the batch has drained — the pool never
             hangs and successful runs are still cached.
     """
+    if isinstance(requests, RunRequest):
+        raise TypeError(
+            "run_requests expects a sequence of RunRequest objects, got"
+            " a single RunRequest — wrap it in a list: run_requests([request])"
+        )
+    for position, request in enumerate(requests):
+        if not isinstance(request, RunRequest):
+            raise TypeError(
+                f"run_requests expects RunRequest objects,"
+                f" got {type(request).__name__} at index {position}"
+            )
     if options is None:
         options = ExecutionOptions()
-    started = time.perf_counter()
+    started = time.perf_counter()  # g2g: allow(G2G002: wall time feeds the run report only, never results)
     total = len(requests)
     results: List[Optional[SimulationResults]] = [None] * total
     keys: List[Optional[str]] = [r.cache_key() for r in requests]
@@ -253,7 +272,7 @@ def run_requests(
                 for i in pending:
                     try:
                         result = futures[i].result()
-                    except BaseException as exc:
+                    except BaseException as exc:  # g2g: allow-broad-except(first worker error is re-raised after the batch drains)
                         if error is None:
                             error = exc
                         continue
@@ -264,5 +283,6 @@ def run_requests(
         if options.report is not None:
             options.report.executed += done - cached
             options.report.cached += cached
+            # g2g: allow(G2G002: wall time feeds the run report only, never results)
             options.report.seconds += time.perf_counter() - started
     return results

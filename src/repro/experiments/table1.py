@@ -26,7 +26,7 @@ the first message a node misbehaved on until its conviction (see
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from .catalog import protocol
 from .parallel import ExecutionOptions

@@ -18,7 +18,7 @@ Each series gets a one-character marker; collisions print ``*``.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 #: Marker characters assigned to series in order.
 MARKERS = "ABCDEFGHIJ"

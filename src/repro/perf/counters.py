@@ -17,7 +17,7 @@ so per-process totals stay meaningful).
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Tuple
 
 #: Names of every tracked operation, in report order.
 FIELDS = (
@@ -37,6 +37,28 @@ FIELDS = (
     "housekeeping_scans",    # full Δ2 purge sweeps actually executed
     "pending_scans",         # _pending_givers evaluations actually run
 )
+
+
+#: Which hot module owns which counters, keyed by path relative to the
+#: ``repro`` package.  This is the contract the op-budget perf tests
+#: rest on: a module listed here must actually increment every listed
+#: field, or its budget assertions silently measure nothing.  The
+#: ``G2G005`` lint rule (:mod:`repro.analysis.rules`) enforces the
+#: mapping statically — update both sides together when moving an
+#: instrumentation site.
+HOT_MODULE_COUNTERS: Dict[str, Tuple[str, ...]] = {
+    "core/g2g_base.py": (
+        "relay_entries", "relay_handoffs",
+        "housekeeping_scans", "pending_scans",
+    ),
+    "core/wire.py": ("encodings", "encoding_cache_hits"),
+    "crypto/hashing.py": ("hmac_prepares", "hmac_copies"),
+    "crypto/keys.py": ("cert_checks", "cert_cache_hits"),
+    "crypto/provider.py": (
+        "signatures", "verifications", "mac_cache_hits", "hmac_copies",
+    ),
+    "sim/node.py": ("buffer_scans", "buffer_scanned"),
+}
 
 
 class OpCounters:

@@ -16,7 +16,10 @@ forwarding/testing/blacklisting logic lives in the protocol classes.
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # circular at runtime: protocols.base imports sim
+    from ..protocols.base import ForwardingProtocol, SimulationContext
 
 from ..adversaries.base import HONEST, Strategy
 from ..core.blacklist import BlacklistService, GossipBlacklist, InstantBlacklist
@@ -49,7 +52,7 @@ class Simulation:
     def __init__(
         self,
         trace: ContactTrace,
-        protocol,
+        protocol: "ForwardingProtocol",
         config: SimulationConfig,
         strategies: Optional[Dict[NodeId, Strategy]] = None,
         community: Optional[object] = None,
@@ -70,7 +73,7 @@ class Simulation:
             )
         self.blacklist = blacklist
 
-    def _build_context(self):
+    def _build_context(self) -> "SimulationContext":
         from ..protocols.base import SimulationContext
 
         results = SimulationResults(
@@ -159,7 +162,7 @@ class Simulation:
 
 def run_simulation(
     trace: ContactTrace,
-    protocol,
+    protocol: "ForwardingProtocol",
     config: SimulationConfig,
     strategies: Optional[Dict[NodeId, Strategy]] = None,
     community: Optional[object] = None,

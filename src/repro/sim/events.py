@@ -11,7 +11,7 @@ created at the very moment a contact opens can use that contact.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import IntEnum
 from typing import Iterator, List, Optional, Tuple
 

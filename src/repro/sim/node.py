@@ -29,7 +29,7 @@ from ..adversaries.base import HONEST, Strategy
 from ..crypto.keys import NodeIdentity
 from ..perf.counters import COUNTERS
 from ..traces.trace import NodeId
-from .messages import Message, StoredCopy
+from .messages import StoredCopy
 from .results import SimulationResults
 
 

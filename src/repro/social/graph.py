@@ -12,7 +12,7 @@ or the total contact duration of the pair.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Set, Tuple
 
 from ..traces.trace import ContactTrace, NodeId
 

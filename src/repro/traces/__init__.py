@@ -56,7 +56,14 @@ from .synthetic import (
     SyntheticTrace,
     generate,
 )
-from .trace import Contact, ContactTrace, NodeId, make_contact, merge_traces
+from .trace import (
+    Contact,
+    ContactTrace,
+    NodeId,
+    ensure_contact_trace,
+    make_contact,
+    merge_traces,
+)
 from .windows import (
     SILENT_TAIL,
     STANDARD_WINDOW,
@@ -91,6 +98,7 @@ __all__ = [
     "contacts_per_pair",
     "dump_trace",
     "empirical_ccdf",
+    "ensure_contact_trace",
     "ExponentialFit",
     "fit_exponential",
     "fit_pareto_tail",

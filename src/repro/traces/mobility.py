@@ -25,8 +25,8 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from .synthetic import CommunityAssignment, SyntheticTrace
 from .trace import Contact, ContactTrace, NodeId, make_contact

@@ -201,6 +201,38 @@ class ContactTrace:
         )
 
 
+def ensure_contact_trace(trace: object, caller: str) -> ContactTrace:
+    """Validate that ``trace`` is a :class:`ContactTrace`, actionably.
+
+    Every public entry point that takes a trace funnels through this
+    guard, because the same slip recurs at all of them:
+    ``trace_by_name`` returns a :class:`~repro.traces.synthetic.SyntheticTrace`
+    *bundle*, and handing the bundle (instead of its ``.trace``
+    attribute) to an API that duck-types would either crash deep in the
+    call stack or, worse, silently compute nonsense.
+
+    Args:
+        trace: the candidate value.
+        caller: entry-point name quoted in the error message.
+
+    Raises:
+        TypeError: naming the caller, the received type, and — when the
+            value looks like a SyntheticTrace bundle — the exact fix.
+    """
+    if isinstance(trace, ContactTrace):
+        return trace
+    detail = ""
+    if isinstance(getattr(trace, "trace", None), ContactTrace):
+        detail = (
+            " — this looks like a SyntheticTrace bundle; pass its"
+            " .trace attribute instead"
+        )
+    raise TypeError(
+        f"{caller} expects a ContactTrace, got"
+        f" {type(trace).__name__}{detail}"
+    )
+
+
 def merge_traces(name: str, traces: Sequence[ContactTrace]) -> ContactTrace:
     """Union several traces over a shared node universe."""
     nodes: set = set()

@@ -11,10 +11,10 @@ fixes (merge overlaps, drop blips).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List
+from typing import FrozenSet, List
 
 from .stats import pairwise_contacts
-from .trace import Contact, ContactTrace, make_contact
+from .trace import Contact, ContactTrace, ensure_contact_trace, make_contact
 
 
 @dataclass(frozen=True)
@@ -48,7 +48,12 @@ def validate_trace(
 
     Returns:
         Issues in detection order (empty = clean).
+
+    Raises:
+        TypeError: if handed something other than a
+            :class:`ContactTrace` (e.g. a SyntheticTrace bundle).
     """
+    trace = ensure_contact_trace(trace, "validate_trace")
     issues: List[TraceIssue] = []
     for pair, contacts in pairwise_contacts(trace).items():
         previous = None
@@ -108,7 +113,12 @@ def repair_trace(
     Overlapping or touching contacts of the same pair are merged into
     one interval; contacts still shorter than ``min_duration`` after
     merging are dropped.  The node universe is preserved.
+
+    Raises:
+        TypeError: if handed something other than a
+            :class:`ContactTrace` (e.g. a SyntheticTrace bundle).
     """
+    trace = ensure_contact_trace(trace, "repair_trace")
     repaired: List[Contact] = []
     for pair, contacts in pairwise_contacts(trace).items():
         a, b = tuple(sorted(pair))

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from .trace import ContactTrace
+from .trace import ContactTrace, ensure_contact_trace
 
 #: The paper's standard evaluation window length.
 STANDARD_WINDOW = 3 * 3600.0
@@ -47,19 +47,7 @@ class EvaluationWindow:
                 recurring slip, since ``trace_by_name`` returns the
                 bundle.  Pass its ``.trace`` attribute.
         """
-        if not isinstance(trace, ContactTrace):
-            detail = ""
-            if hasattr(trace, "trace") and isinstance(
-                getattr(trace, "trace"), ContactTrace
-            ):
-                detail = (
-                    " — this looks like a SyntheticTrace bundle; pass its"
-                    " .trace attribute instead"
-                )
-            raise TypeError(
-                f"EvaluationWindow.slice expects a ContactTrace, got"
-                f" {type(trace).__name__}{detail}"
-            )
+        trace = ensure_contact_trace(trace, "EvaluationWindow.slice")
         return trace.window(self.start, self.end)
 
 

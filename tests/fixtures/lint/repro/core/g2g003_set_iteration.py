@@ -1,0 +1,13 @@
+"""Fixture: iterates a set expression in a hot module (G2G003)."""
+
+
+def visit_all(neighbors: list) -> list:
+    order = []
+    for node in set(neighbors):  # line 6: the violation
+        order.append(node)
+    return order
+
+
+def visit_sorted(neighbors: list) -> list:
+    # The sanctioned form: sorted() pins the order.
+    return [node for node in sorted(set(neighbors))]

@@ -1,0 +1,30 @@
+"""Fixture: a clean module — sanctioned patterns and valid pragmas.
+
+Every construct here is either genuinely allowed (seeded RNG, sorted
+set iteration, narrow excepts) or carries a justification pragma; the
+linter must report nothing for this file.
+"""
+
+import random
+import time
+
+
+def seeded_draws(seed: int, n: int) -> list:
+    rng = random.Random(seed)
+    return [rng.random() for _ in range(n)]
+
+
+def ordered_union(a: set, b: set) -> list:
+    return [x for x in sorted(a | b)]
+
+
+def wall_time() -> float:
+    return time.time()  # g2g: allow(G2G002: fixture demonstrates the pragma)
+
+
+def tolerant_parse(text: str) -> int:
+    try:
+        return int(text)
+    # g2g: allow-broad-except(fixture demonstrates the pragma on the line above)
+    except Exception:
+        return 0

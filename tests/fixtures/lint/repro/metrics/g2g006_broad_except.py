@@ -1,0 +1,18 @@
+"""Fixture: broad except without a pragma or re-raise (G2G006)."""
+
+
+def load(path: str) -> str:
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except Exception:  # line 8: the violation
+        return ""
+
+
+def load_strict(path: str) -> str:
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except Exception:
+        # Allowed: cleanup-and-reraise swallows nothing.
+        raise

@@ -1,0 +1,16 @@
+"""Fixture: mutates a frozen artifact outside the sanctioned sites (G2G004)."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FakeProof:
+    signature: bytes = b""
+
+    def __post_init__(self) -> None:
+        # Allowed: frozen-dataclass self-construction.
+        object.__setattr__(self, "signature", b"")
+
+
+def tamper(proof: FakeProof, signature: bytes) -> None:
+    object.__setattr__(proof, "signature", signature)  # line 16: the violation

@@ -1,0 +1,7 @@
+"""Fixture: draws from the process-global RNG inside sim/ (G2G001)."""
+
+import random
+
+
+def jitter(base: float) -> float:
+    return base + random.random()  # line 7: the violation

@@ -1,0 +1,13 @@
+"""Fixture: the sim/node.py hot module with its counters ripped out.
+
+repro.perf.counters.HOT_MODULE_COUNTERS declares that sim/node.py
+increments ``buffer_scans`` and ``buffer_scanned``; this copy only
+increments the first, so G2G005 must flag the module (at line 1).
+"""
+
+from repro.perf.counters import COUNTERS
+
+
+def relay_candidates(buffer: list) -> list:
+    COUNTERS.buffer_scans += 1
+    return list(buffer)

@@ -1,0 +1,7 @@
+"""Fixture: reads the wall clock inside traces/ (G2G002)."""
+
+import time
+
+
+def timestamped_name(prefix: str) -> str:
+    return f"{prefix}-{time.time()}"  # line 7: the violation
