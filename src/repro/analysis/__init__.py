@@ -4,8 +4,8 @@ The simulator's headline claims — bit-identical trace-driven runs per
 seed, immutable signed wire artifacts, honest op-count budgets — are
 *invariants*, and the test suite can only spot-check them dynamically.
 This package enforces them statically with a small AST lint framework
-(:mod:`repro.analysis.framework`), six repo-specific rules
-(:mod:`repro.analysis.rules`, ids ``G2G001``–``G2G006``), and a runner
+(:mod:`repro.analysis.framework`), seven repo-specific rules
+(:mod:`repro.analysis.rules`, ids ``G2G001``–``G2G007``), and a runner
 (:mod:`repro.analysis.runner`) behind the ``repro lint`` CLI command.
 
 Rules are suppressed per line with pragma comments::

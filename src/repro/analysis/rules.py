@@ -18,6 +18,10 @@ argument:
   only honest while every hot module actually increments its counters.
 * :class:`BroadExceptRule` (G2G006) — ``except Exception`` hides the
   very determinism bugs the rest of the rule set exists to catch.
+* :class:`PrivateHeapRule` (G2G007) — deferred work in the hot
+  packages must go through the run scheduler (``sim/events.py``), not
+  a private ``heapq``; side heaps fork the event order the
+  determinism contract is stated in.
 
 See ``docs/development.md`` for the user-facing catalogue.
 """
@@ -74,6 +78,10 @@ WALL_CLOCK_CALLS = frozenset({
 #: ``__post_init__`` constructor: the sanctioned signature-backfill
 #: sites for frozen wire/proof artifacts.
 SANCTIONED_SETATTR_FILES = ("core/wire.py", "core/proofs.py")
+
+#: The one module in the hot packages allowed to import ``heapq``:
+#: the run scheduler every other timer mechanism routes through.
+SCHEDULER_MODULE = "sim/events.py"
 
 
 @register_rule
@@ -348,3 +356,41 @@ class BroadExceptRule(Rule):
                 f"failures it meant to tolerate; narrow the exception "
                 f"types or add # g2g: allow-broad-except(reason)",
             )
+
+
+@register_rule
+class PrivateHeapRule(Rule):
+    """G2G007: no private ``heapq`` outside the scheduler module."""
+
+    rule_id = "G2G007"
+    summary = (
+        "heapq import in a hot package outside the scheduler module "
+        "(sim/events.py); route deferred work through the run scheduler"
+    )
+
+    def check(self, module: LintModule) -> Iterator[Violation]:
+        if not module.in_packages(HOT_PACKAGES):
+            return
+        if module.rel == SCHEDULER_MODULE:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                if any(
+                    alias.name.split(".", 1)[0] == "heapq"
+                    for alias in node.names
+                ):
+                    yield self._flag(module, node)
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module is not None and (
+                    node.module.split(".", 1)[0] == "heapq"
+                ):
+                    yield self._flag(module, node)
+
+    def _flag(self, module: LintModule, node: ast.AST) -> Violation:
+        return self.violation(
+            module, node,
+            "a private heap forks the event order the determinism "
+            "contract is stated in; schedule timers through "
+            "SimulationContext.schedule (the run scheduler in "
+            "sim/events.py) instead",
+        )

@@ -17,9 +17,15 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Dict, List, Set
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Set
 
 from ..traces.trace import NodeId
+
+if TYPE_CHECKING:  # circular at runtime: sim.events is engine-side
+    from ..sim.events import Scheduler
+
+#: Scheduler tag of the gossip propagation-round timer chain.
+GOSSIP_ROUND_TAG = "blacklist.round"
 
 
 @dataclass(frozen=True)
@@ -63,6 +69,15 @@ class BlacklistService(ABC):
     def convicted(self) -> Set[NodeId]:
         """All nodes with at least one published PoM."""
 
+    def on_run_start(
+        self, scheduler: "Scheduler", nodes: Sequence[NodeId]
+    ) -> None:
+        """Engine hook: the run scheduler is available.
+
+        Services with time-driven behavior (gossip propagation rounds)
+        register their timers here; the default does nothing.
+        """
+
 
 class InstantBlacklist(BlacklistService):
     """Network-wide immediate PoM visibility (the paper's model)."""
@@ -94,11 +109,56 @@ class GossipBlacklist(BlacklistService):
     them is cheap and — unlike message flooding — incentive-compatible:
     spreading a PoM protects the spreader from wasting relays on a
     convicted node).
+
+    Args:
+        round_interval: optional period of *propagation rounds* — a
+            timer chain on the run scheduler that makes every
+            published PoM known to every node once per interval,
+            modelling an out-of-band broadcast with bounded staleness
+            (the middle ground between pure contact gossip and the
+            paper's instant broadcast).  None (default) keeps the
+            purely contact-driven dissemination.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, round_interval: Optional[float] = None) -> None:
+        if round_interval is not None and round_interval <= 0:
+            raise ValueError("round_interval must be positive (or None)")
         self._known: Dict[NodeId, Set[NodeId]] = {}
         self.poms: List[ProofOfMisbehavior] = []
+        self.round_interval = round_interval
+        self._nodes: Sequence[NodeId] = ()
+        self._scheduler: Optional["Scheduler"] = None
+
+    def on_run_start(
+        self, scheduler: "Scheduler", nodes: Sequence[NodeId]
+    ) -> None:
+        """Start the propagation-round timer chain (when configured)."""
+        self._scheduler = scheduler
+        self._nodes = tuple(nodes)
+        if self.round_interval is not None:
+            scheduler.schedule(
+                self.round_interval, GOSSIP_ROUND_TAG, 1, owner=self
+            )
+
+    def on_timer(self, tag: str, payload: Any, now: float) -> None:
+        """One propagation round: all published PoMs reach everyone."""
+        offenders = {pom.offender for pom in self.poms}
+        known = self._known
+        for node in self._nodes:
+            peers = known.get(node)
+            if peers is None:
+                peers = known[node] = set()
+            peers |= offenders
+        if self._scheduler is not None and self.round_interval is not None:
+            # Boundaries by multiplication, not accumulation, so the
+            # chain stays on exact multiples of the interval; the
+            # scheduler ends it at the horizon by refusing the next.
+            self._scheduler.schedule(
+                (int(payload) + 1) * self.round_interval,
+                GOSSIP_ROUND_TAG,
+                int(payload) + 1,
+                owner=self,
+            )
 
     def publish(self, pom: ProofOfMisbehavior) -> None:
         self.poms.append(pom)

@@ -25,7 +25,6 @@ the liar check in the test by the destination).
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
@@ -51,6 +50,11 @@ from .proofs import (
     verify_storage_proof,
 )
 from .wire import CONTROL_MESSAGE_SIZE, SealedMessage
+
+#: Scheduler tags of the Δ2 deadlines (one timer per stored copy /
+#: audit record, registered at store time).
+PURGE_BUFFER_TAG = "g2g.purge_buffer"
+PURGE_RECORDS_TAG = "g2g.purge_records"
 
 
 @dataclass
@@ -145,15 +149,14 @@ class Give2GetBase(ForwardingProtocol):
         self._sources: Dict[NodeId, Dict[int, _SourceRecord]] = {
             node_id: {} for node_id in ctx.nodes
         }
-        # Housekeeping fast path: per-node min-heaps of
-        # ``(created_at + Δ2, msg_id)`` scheduled at every store, for
-        # the buffer and the source-record map respectively.  The
-        # per-contact sweep pops exactly the entries whose deadline
-        # passed — O(expired) instead of O(buffer) — and entries whose
-        # message was dropped earlier are skipped (the buffer/record
-        # map stays authoritative, the heap only schedules the look).
-        self._buffer_purge_heap: Dict[NodeId, List[Tuple[float, int]]] = {}
-        self._records_purge_heap: Dict[NodeId, List[Tuple[float, int]]] = {}
+        # Housekeeping via the run scheduler: every store registers a
+        # ``created_at + Δ2`` timer.  Record purges apply at dispatch
+        # (nothing reads a record past its window); buffer purges only
+        # *mark* the copy ripe here and the drop happens at the node's
+        # next contact — exactly when the old per-contact sweep dropped
+        # it, which is what keeps the memory byte-second integral (and
+        # the golden results) bit-identical.
+        self._ripe_purges: Dict[NodeId, List[int]] = {}
         # Hot-loop constants: per-run invariants read on every relay.
         config = ctx.config
         energy = config.energy
@@ -193,20 +196,23 @@ class Give2GetBase(ForwardingProtocol):
             self.ctx.results,
         )
         purge_at = message.created_at + self._delta2
-        self._schedule_purge(
-            self._buffer_purge_heap, message.source, purge_at, message.msg_id
+        self.ctx.schedule(
+            purge_at, PURGE_BUFFER_TAG, (message.source, message.msg_id)
         )
-        self._schedule_purge(
-            self._records_purge_heap, message.source, purge_at, message.msg_id
+        self.ctx.schedule(
+            purge_at, PURGE_RECORDS_TAG, (message.source, message.msg_id)
         )
         for peer in list(self.ctx.active_neighbors(message.source)):
             if self.ctx.usable_pair(message.source, peer):
                 self._offer(source, self.ctx.node(peer), now)
 
     def on_contact_start(self, a: NodeId, b: NodeId, now: float) -> None:
+        # Advance timers strictly before ``now`` for direct-driven
+        # harnesses; a no-op under the engine loop.
+        self.ctx.flush_timers(now)
         node_a, node_b = self.ctx.node(a), self.ctx.node(b)
-        self._housekeeping(node_a, now)
-        self._housekeeping(node_b, now)
+        self._apply_ripe_purges(node_a, now)
+        self._apply_ripe_purges(node_b, now)
         # Session establishment: a selfish node may refuse ("shut off
         # the radio") to dodge a test phase — forfeiting everything the
         # contact would have carried, including its own messages.
@@ -437,9 +443,10 @@ class Give2GetBase(ForwardingProtocol):
             # records for the messages they hand out.
             record = _SourceRecord(message=message, is_source=False)
             self._sources[giver_id][msg_id] = record
-            self._schedule_purge(
-                self._records_purge_heap, giver_id,
-                message.created_at + self._delta2, msg_id,
+            ctx.schedule(
+                message.created_at + self._delta2,
+                PURGE_RECORDS_TAG,
+                (giver_id, msg_id),
             )
         if record is not None:
             record.takers.append(taker_id)
@@ -491,9 +498,7 @@ class Give2GetBase(ForwardingProtocol):
         if taken is None:
             taken = taker.extra["taken"] = {}
         taken[msg_id] = (giver_id, purge_at)
-        self._schedule_purge(
-            self._buffer_purge_heap, taker_id, purge_at, msg_id
-        )
+        ctx.schedule(purge_at, PURGE_BUFFER_TAG, (taker_id, msg_id))
         COUNTERS.relay_handoffs += 1
         keep = taker.strategy.keep_relayed_copy(
             taker_id, message, giver_id, now
@@ -675,54 +680,51 @@ class Give2GetBase(ForwardingProtocol):
 
     # -- housekeeping -------------------------------------------------------
 
-    @staticmethod
-    def _schedule_purge(
-        heaps: Dict[NodeId, List[Tuple[float, int]]],
-        node_id: NodeId,
-        deadline: float,
-        msg_id: int,
-    ) -> None:
-        """Schedule a Δ2 purge check for one stored message."""
-        heap = heaps.get(node_id)
-        if heap is None:
-            heap = heaps[node_id] = []
-        heapq.heappush(heap, (deadline, msg_id))
+    def on_timer(self, tag: str, payload: Any, now: float) -> None:
+        """Δ2 deadline dispatch (scheduled at every store).
 
-    def _housekeeping(self, node: NodeState, now: float) -> None:
-        """Purge everything older than Δ2 (messages, proofs, records).
-
-        Driven by the per-node purge heaps fed at every store: each
-        sweep pops exactly the entries whose ``created_at + Δ2``
-        deadline has passed and drops whatever of them is still held.
-        Entries for messages dropped earlier (strategy drops, body
-        discards, evictions) are simply skipped — the buffer and the
-        record map stay authoritative.  A message id never re-enters a
-        node's buffer (``seen`` forbids re-taking), so one scheduled
-        check per store suffices.  The purge set and its timing are
-        identical to the original full-buffer scan; only the cost
-        drops from O(buffer) per contact to O(expired) amortized.
+        The ``TIMER`` priority makes these fire after every contact at
+        the same instant, so a contact at exactly ``created_at + Δ2``
+        still sees the pre-purge state — the same semantics as the old
+        per-contact strict-``<`` sweep.  Record purges apply here:
+        every read of a source record is guarded by its Δ2 window, so
+        removing it at the deadline is unobservable.  Buffer purges
+        only *mark* the copy ripe: the actual drop waits for the
+        node's next contact (see :meth:`_apply_ripe_purges`), when the
+        old sweep would have dropped it — dropping at the deadline
+        instead would end the copy's memory byte-second accrual early
+        and change the reproduced memory figures.
         """
-        node_id = node.node_id
-        heap = self._buffer_purge_heap.get(node_id)
-        if heap and heap[0][0] < now:
-            COUNTERS.housekeeping_scans += 1
-            results = self.ctx.results
-            buffer = node.buffer
-            while heap and heap[0][0] < now:
-                _deadline, msg_id = heapq.heappop(heap)
-                if msg_id in buffer:
-                    node.drop(msg_id, now, results)
-            if not heap:
-                del self._buffer_purge_heap[node_id]
-        heap = self._records_purge_heap.get(node_id)
-        if heap and heap[0][0] < now:
-            COUNTERS.housekeeping_scans += 1
-            records = self._sources[node_id]
-            while heap and heap[0][0] < now:
-                _deadline, msg_id = heapq.heappop(heap)
-                records.pop(msg_id, None)
-            if not heap:
-                del self._records_purge_heap[node_id]
+        if tag == PURGE_BUFFER_TAG:
+            node_id, msg_id = payload
+            self._ripe_purges.setdefault(node_id, []).append(msg_id)
+        elif tag == PURGE_RECORDS_TAG:
+            node_id, msg_id = payload
+            self._sources[node_id].pop(msg_id, None)
+        else:
+            super().on_timer(tag, payload, now)
+
+    def _apply_ripe_purges(self, node: NodeState, now: float) -> None:
+        """Drop the node's Δ2-ripe copies (messages and proofs).
+
+        Entries for messages dropped earlier (strategy drops, body
+        discards, evictions) are simply skipped — the buffer stays
+        authoritative, the ripe list only schedules the look.  A
+        message id never re-enters a node's buffer (``seen`` forbids
+        re-taking), so one timer per store suffices.  The purge set
+        and its timing are identical to the original full-buffer scan;
+        only the cost drops from O(buffer) per contact to O(expired)
+        amortized.
+        """
+        ripe = self._ripe_purges.pop(node.node_id, None)
+        if ripe is None:
+            return
+        COUNTERS.housekeeping_scans += 1
+        results = self.ctx.results
+        buffer = node.buffer
+        for msg_id in ripe:
+            if msg_id in buffer:
+                node.drop(msg_id, now, results)
 
     # -- energy helpers ------------------------------------------------------
 

@@ -27,7 +27,7 @@ from typing import Any, List, Optional
 
 from ..crypto.provider import CryptoProvider
 from ..protocols.base import SimulationContext
-from ..protocols.quality import QualityTracker
+from ..protocols.quality import FRAME_TIMER_TAG, QualityTracker
 from ..sim.messages import Message, StoredCopy
 from ..sim.node import NodeState
 from ..traces.trace import NodeId
@@ -65,14 +65,23 @@ class G2GDelegationForwarding(Give2GetBase):
         self.tracker = QualityTracker(
             self.variant, ctx.config.quality_timeframe
         )
+        self.tracker.schedule_rollover(ctx)
         # Node population is fixed for the run (evictions only flag
         # nodes); built once so every camouflage draw skips an
         # O(nodes) list build while sampling the identical sequence.
         self._node_ids = list(ctx.nodes)
 
     def on_contact_start(self, a: NodeId, b: NodeId, now: float) -> None:
+        self.ctx.flush_timers(now)
         self.tracker.encounter(a, b, now)
         super().on_contact_start(a, b, now)
+
+    def on_timer(self, tag: str, payload: Any, now: float) -> None:
+        if tag == FRAME_TIMER_TAG:
+            assert self.tracker is not None
+            self.tracker.handle_frame_timer(self.ctx, payload, now)
+        else:
+            super().on_timer(tag, payload, now)
 
     # -- delegation-specific hooks ----------------------------------------
 

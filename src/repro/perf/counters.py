@@ -34,8 +34,11 @@ FIELDS = (
     "relay_handoffs",        # relays that completed with a hand-off
     "buffer_scans",          # relay-candidate scans over a node buffer
     "buffer_scanned",        # copies inspected across all buffer scans
-    "housekeeping_scans",    # full Δ2 purge sweeps actually executed
+    "housekeeping_scans",    # ripe Δ2 purge batches actually applied
     "pending_scans",         # _pending_givers evaluations actually run
+    "timers_scheduled",      # scheduler timers registered on the queue
+    "timer_dispatches",      # timers fired through the event loop
+    "timers_cancelled",      # timers cancelled before firing
 )
 
 
@@ -56,6 +59,9 @@ HOT_MODULE_COUNTERS: Dict[str, Tuple[str, ...]] = {
     "crypto/keys.py": ("cert_checks", "cert_cache_hits"),
     "crypto/provider.py": (
         "signatures", "verifications", "mac_cache_hits", "hmac_copies",
+    ),
+    "sim/events.py": (
+        "timers_scheduled", "timer_dispatches", "timers_cancelled",
     ),
     "sim/node.py": ("buffer_scans", "buffer_scanned"),
 }

@@ -13,17 +13,33 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, Optional, Protocol, Set, Tuple
 
 import random
 
 from ..core.blacklist import BlacklistService, InstantBlacklist
 from ..sim.eventlog import EventLog, EventType
 from ..sim.config import SimulationConfig
+from ..sim.events import Scheduler, TimerHandle, TimerOwner
 from ..sim.messages import Message
 from ..sim.node import NodeState
 from ..sim.results import SimulationResults
 from ..traces.trace import NodeId
+
+
+class CommunityOracle(Protocol):
+    """Structural interface of a community oracle.
+
+    Anything exposing ``same_community`` qualifies — the detected
+    :class:`repro.social.CommunityMap`, a synthetic trace's planted
+    partition, or a test stub.  Typing the oracle as a Protocol (it
+    was a bare ``Optional[object]`` before) lets strict mypy check the
+    call sites in ``sim/`` and ``core/`` instead of trusting ducks.
+    """
+
+    def same_community(self, a: NodeId, b: NodeId) -> bool:
+        """Whether ``a`` and ``b`` belong to one community."""
+        ...  # pragma: no cover - protocol declaration
 
 
 @dataclass
@@ -38,6 +54,8 @@ class SimulationContext:
         blacklist: PoM propagation service.
         community: optional community oracle (``same_community``).
         active_contacts: currently open contacts as unordered pairs.
+        scheduler: the run scheduler timers route through; None only
+            in hand-built contexts that never touch timers.
     """
 
     config: SimulationConfig
@@ -45,13 +63,55 @@ class SimulationContext:
     results: SimulationResults
     rng: random.Random
     blacklist: BlacklistService = field(default_factory=InstantBlacklist)
-    community: Optional[object] = None
+    community: Optional[CommunityOracle] = None
     active_contacts: Set[frozenset] = field(default_factory=set)
     events: EventLog = field(default_factory=lambda: EventLog(enabled=False))
+    scheduler: Optional[Scheduler] = None
 
     def node(self, node_id: NodeId) -> NodeState:
         """Runtime state of ``node_id``."""
         return self.nodes[node_id]
+
+    # -- scheduler passthroughs ----------------------------------------
+
+    def schedule(
+        self,
+        time: float,
+        tag: str,
+        payload: Any = None,
+        owner: Optional[TimerOwner] = None,
+    ) -> TimerHandle:
+        """Register a timer with the run scheduler.
+
+        Without an explicit ``owner`` the dispatch goes to the
+        scheduler's default owner (the bound protocol).  In a
+        hand-built context with no scheduler the handle comes back
+        already cancelled — deferred work simply never fires, matching
+        a run that ends before the deadline.
+        """
+        if self.scheduler is None:
+            return TimerHandle(
+                time=time, tag=tag, payload=payload, owner=owner,
+                cancelled=True,
+            )
+        return self.scheduler.schedule(time, tag, payload=payload, owner=owner)
+
+    def cancel(self, handle: TimerHandle) -> None:
+        """Cancel a pending timer (idempotent)."""
+        if self.scheduler is not None:
+            self.scheduler.cancel(handle)
+
+    def flush_timers(self, now: float) -> None:
+        """Dispatch timers strictly before ``now``.
+
+        Harness hook: protocols call this on entry to their contact
+        hooks so tests that drive hooks directly (no engine loop)
+        still advance timers.  Under ``Simulation.run()`` it is a
+        guaranteed no-op — the loop has already popped everything
+        strictly before the event being dispatched.
+        """
+        if self.scheduler is not None:
+            self.scheduler.dispatch_until(now)
 
     def active_neighbors(self, node_id: NodeId) -> Iterable[NodeId]:
         """Peers currently in contact with ``node_id`` (unevicted)."""
@@ -107,7 +167,8 @@ class ForwardingProtocol(ABC):
 
     Lifecycle: ``bind(ctx)`` once per run, then the engine calls
     ``on_message_generated`` / ``on_contact_start`` / ``on_contact_end``
-    in event order and ``finalize`` at the end of the run.
+    / ``on_timer`` in event order and ``finalize`` at the end of the
+    run.
     """
 
     #: Human-readable protocol name (used in result tables).
@@ -132,6 +193,15 @@ class ForwardingProtocol(ABC):
 
     def on_contact_end(self, a: NodeId, b: NodeId, now: float) -> None:
         """Two nodes left range (default: nothing to do)."""
+
+    def on_timer(self, tag: str, payload: Any, now: float) -> None:
+        """A timer scheduled for this protocol fired (default: no-op).
+
+        Dispatched by the engine in global event order; ``TIMER``
+        events sort after every contact and generation at the same
+        instant, so the hook observes the post-contact state of its
+        timestamp.
+        """
 
     def finalize(self, now: float) -> None:
         """End-of-run cleanup (default: settle node accounting)."""

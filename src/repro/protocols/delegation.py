@@ -15,11 +15,13 @@ accept and silently discard.
 
 from __future__ import annotations
 
+from typing import Any
+
 from ..sim.messages import Message, StoredCopy
 from ..sim.node import NodeState
 from ..traces.trace import NodeId
 from .base import ForwardingProtocol, make_room
-from .quality import QualityTracker
+from .quality import FRAME_TIMER_TAG, QualityTracker
 
 
 class DelegationForwarding(ForwardingProtocol):
@@ -38,6 +40,13 @@ class DelegationForwarding(ForwardingProtocol):
         self.tracker = QualityTracker(
             self.variant, ctx.config.quality_timeframe
         )
+        self.tracker.schedule_rollover(ctx)
+
+    def on_timer(self, tag: str, payload: Any, now: float) -> None:
+        if tag == FRAME_TIMER_TAG:
+            self.tracker.handle_frame_timer(self.ctx, payload, now)
+        else:
+            super().on_timer(tag, payload, now)
 
     def on_message_generated(self, message: Message, now: float) -> None:
         source = self.ctx.node(message.source)
@@ -54,6 +63,7 @@ class DelegationForwarding(ForwardingProtocol):
                 self._offer(source, self.ctx.node(peer), now)
 
     def on_contact_start(self, a: NodeId, b: NodeId, now: float) -> None:
+        self.ctx.flush_timers(now)
         self.tracker.encounter(a, b, now)
         node_a, node_b = self.ctx.node(a), self.ctx.node(b)
         self._purge_expired(node_a, now)

@@ -22,12 +22,18 @@ implements exactly that versioning with lazy frame rollover.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, FrozenSet, Optional, Tuple
 
 from ..traces.trace import NodeId
 
+if TYPE_CHECKING:  # circular at runtime: base imports sim, sim uses us
+    from .base import SimulationContext
+
 #: How many completed frame snapshots each record retains.
 SNAPSHOT_DEPTH = 2
+
+#: Scheduler tag of the timeframe-rollover timer chain.
+FRAME_TIMER_TAG = "quality.frame"
 
 
 @dataclass
@@ -87,6 +93,42 @@ class QualityTracker:
     def frame_of(self, now: float) -> int:
         """Index of the frame containing ``now``."""
         return int(now // self.timeframe)
+
+    # -- frame-boundary timers -----------------------------------------
+
+    def schedule_rollover(self, ctx: "SimulationContext") -> None:
+        """Register the first frame-boundary timer with the run scheduler.
+
+        Timeframe completions then fire as events instead of being
+        recomputed per query.  The per-query ``roll`` calls stay as
+        idempotent guards: events *at* a boundary instant sort before
+        the boundary's ``TIMER`` (contacts and generations have lower
+        priority), so a same-instant query must still advance its own
+        record first.  ``roll_all`` is therefore a no-op for every
+        record already touched in the frame — results are identical
+        with or without the timer chain, by construction.
+        """
+        ctx.schedule(self.timeframe, FRAME_TIMER_TAG, 1)
+
+    def handle_frame_timer(
+        self, ctx: "SimulationContext", payload: Any, now: float
+    ) -> None:
+        """Frame ``payload`` completed: roll every record, chain onward.
+
+        The next boundary is computed as ``(frame + 1) * timeframe``
+        (multiplication, not accumulation) so the chain never drifts
+        off the exact boundaries ``frame_of`` quantizes to.  The chain
+        ends by itself at the horizon — the scheduler refuses timers
+        past run end.
+        """
+        frame = int(payload)
+        self.roll_all(frame)
+        ctx.schedule((frame + 1) * self.timeframe, FRAME_TIMER_TAG, frame + 1)
+
+    def roll_all(self, frame: int) -> None:
+        """Advance every pair record to ``frame`` (boundary dispatch)."""
+        for record in self._records.values():
+            record.roll(frame)
 
     def encounter(self, a: NodeId, b: NodeId, now: float) -> None:
         """Record one contact between ``a`` and ``b``."""

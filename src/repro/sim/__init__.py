@@ -2,7 +2,7 @@
 
 from .config import EnergyModel, SimulationConfig, config_for
 from .engine import Simulation, run_simulation
-from .events import Event, EventKind, EventQueue
+from .events import Event, EventKind, EventQueue, Scheduler, TimerHandle, TimerOwner
 from .messages import Message, StoredCopy
 from .node import NodeState
 from .results import DetectionRecord, MessageRecord, SimulationResults
@@ -19,10 +19,13 @@ __all__ = [
     "MessageRecord",
     "NodeState",
     "PoissonTraffic",
+    "Scheduler",
     "Simulation",
     "SimulationConfig",
     "SimulationResults",
     "StoredCopy",
+    "TimerHandle",
+    "TimerOwner",
     "TrafficDemand",
     "config_for",
     "demands_to_messages",

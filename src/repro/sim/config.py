@@ -76,6 +76,11 @@ class SimulationConfig:
         instant_blacklist: True = a PoM reaches everyone immediately
             (the paper's broadcast assumption); False = PoMs gossip
             from node to node during contacts.
+        blacklist_round_interval: with gossip (``instant_blacklist=
+            False``), an optional period of scheduler-driven
+            propagation rounds that push every published PoM to every
+            node — out-of-band broadcast with bounded staleness.  None
+            (default) keeps dissemination purely contact-driven.
         energy: the cost model.
         heavy_hmac_iterations: chain length of the storage challenge.
         track_memory: record per-node memory usage over time (slight
@@ -97,6 +102,7 @@ class SimulationConfig:
     seed: int = 0
     message_size: int = 1024
     instant_blacklist: bool = True
+    blacklist_round_interval: Optional[float] = None
     energy: EnergyModel = field(default_factory=EnergyModel)
     heavy_hmac_iterations: int = 64
     track_memory: bool = True
@@ -119,6 +125,13 @@ class SimulationConfig:
             raise ValueError("buffer_capacity must be >= 1 (or None)")
         if self.quality_timeframe <= 0:
             raise ValueError("quality_timeframe must be positive")
+        if (
+            self.blacklist_round_interval is not None
+            and self.blacklist_round_interval <= 0
+        ):
+            raise ValueError(
+                "blacklist_round_interval must be positive (or None)"
+            )
 
     @property
     def delta1(self) -> float:

@@ -19,14 +19,18 @@ import random
 from typing import TYPE_CHECKING, Dict, Optional
 
 if TYPE_CHECKING:  # circular at runtime: protocols.base imports sim
-    from ..protocols.base import ForwardingProtocol, SimulationContext
+    from ..protocols.base import (
+        CommunityOracle,
+        ForwardingProtocol,
+        SimulationContext,
+    )
 
 from ..adversaries.base import HONEST, Strategy
 from ..core.blacklist import BlacklistService, GossipBlacklist, InstantBlacklist
 from ..traces.trace import ContactTrace, NodeId
 from .config import SimulationConfig
 from .eventlog import EventLog, EventType
-from .events import Event, EventKind, EventQueue
+from .events import Event, EventKind, EventQueue, Scheduler
 from .messages import Message
 from .node import NodeState
 from .results import SimulationResults
@@ -55,7 +59,7 @@ class Simulation:
         protocol: "ForwardingProtocol",
         config: SimulationConfig,
         strategies: Optional[Dict[NodeId, Strategy]] = None,
-        community: Optional[object] = None,
+        community: Optional["CommunityOracle"] = None,
         blacklist: Optional[BlacklistService] = None,
     ) -> None:
         if trace.num_nodes < 2:
@@ -69,7 +73,9 @@ class Simulation:
             blacklist = (
                 InstantBlacklist()
                 if config.instant_blacklist
-                else GossipBlacklist()
+                else GossipBlacklist(
+                    round_interval=config.blacklist_round_interval
+                )
             )
         self.blacklist = blacklist
 
@@ -90,6 +96,14 @@ class Simulation:
         }
         events = EventLog(enabled=self.config.track_events)
         results.events = events
+        scheduler = Scheduler(
+            EventQueue(),
+            horizon=self.config.run_length,
+            default_owner=self.protocol,
+            events=events,
+        )
+        for node in nodes.values():
+            node.attach_scheduler(scheduler)
         return SimulationContext(
             config=self.config,
             nodes=nodes,
@@ -98,6 +112,7 @@ class Simulation:
             blacklist=self.blacklist,
             community=self.community,
             events=events,
+            scheduler=scheduler,
         )
 
     def run(self) -> SimulationResults:
@@ -105,12 +120,19 @@ class Simulation:
         ctx = self._build_context()
         self.protocol.bind(ctx)
 
-        queue = EventQueue()
+        scheduler = ctx.scheduler
+        assert scheduler is not None  # _build_context always wires one
+        queue = scheduler.queue
         horizon = self.config.run_length
+        self.blacklist.on_run_start(scheduler, self.trace.nodes)
         for contact in self.trace.contacts:
             if contact.start >= horizon:
                 continue
-            queue.push_contact(contact)
+            # Ends past the horizon are clamped to it: a contact still
+            # open at run end closes at run end (the pre-scheduler loop
+            # broke at the first event past the horizon instead, so
+            # straddling contacts never received on_contact_end).
+            queue.push_contact(contact, horizon=horizon)
         for demand in PoissonTraffic(self.trace.nodes, self.config).demands():
             queue.push(
                 Event(
@@ -122,11 +144,12 @@ class Simulation:
 
         msg_counter = 0
         for event in queue.drain():
-            now = min(event.time, horizon)
-            if event.time > horizon:
-                break
+            if event.time > horizon:  # defensive: everything is clamped
+                break  # pragma: no cover
+            now = event.time
             if event.kind == EventKind.CONTACT_START:
                 contact = event.contact
+                assert contact is not None
                 pair = frozenset((contact.a, contact.b))
                 ctx.active_contacts.add(pair)
                 if ctx.usable_pair(contact.a, contact.b):
@@ -134,9 +157,14 @@ class Simulation:
                     self.protocol.on_contact_start(contact.a, contact.b, now)
             elif event.kind == EventKind.CONTACT_END:
                 contact = event.contact
+                assert contact is not None
                 ctx.active_contacts.discard(frozenset((contact.a, contact.b)))
                 self.protocol.on_contact_end(contact.a, contact.b, now)
+            elif event.kind == EventKind.TIMER:
+                assert event.timer is not None
+                scheduler.fire(event.timer, now)
             else:
+                assert event.traffic is not None
                 source, destination = event.traffic
                 if ctx.nodes[source].evicted:
                     continue  # evicted nodes are out of the system
@@ -165,7 +193,7 @@ def run_simulation(
     protocol: "ForwardingProtocol",
     config: SimulationConfig,
     strategies: Optional[Dict[NodeId, Strategy]] = None,
-    community: Optional[object] = None,
+    community: Optional["CommunityOracle"] = None,
 ) -> SimulationResults:
     """One-shot convenience wrapper around :class:`Simulation`."""
     return Simulation(

@@ -32,6 +32,7 @@ class EventType(Enum):
     POM = "pom"
     EVICTED = "evicted"
     BUFFER_EVICTED = "buffer_evicted"
+    TIMER = "timer"             # a scheduler timer dispatched
 
 
 @dataclass(frozen=True)

@@ -1,11 +1,22 @@
 """Discrete-event machinery for the contact-trace simulator.
 
-The simulator advances through three kinds of events in global time
-order: contact starts, contact ends, and message generations.  Events
-are totally ordered by ``(time, priority, sequence)`` — ends sort
-before starts at the same instant (so back-to-back contacts of one
-pair do not overlap), and generations sort after starts so a message
-created at the very moment a contact opens can use that contact.
+The simulator advances through four kinds of events in global time
+order: contact starts, contact ends, message generations, and timers.
+Events are totally ordered by ``(time, priority, sequence)`` — ends
+sort before starts at the same instant (so back-to-back contacts of
+one pair do not overlap), generations sort after starts so a message
+created at the very moment a contact opens can use that contact, and
+timers sort last so everything a timer observes at time *t* includes
+the effects of every contact and generation at *t*.
+
+Timers are the run's one sanctioned deferred-work mechanism: protocols
+and services register ``(owner, tag, payload)`` triples through
+:class:`Scheduler` (usually via ``SimulationContext.schedule``)
+instead of maintaining private heaps, and the engine dispatches them
+through :meth:`TimerOwner.on_timer` in the same deterministic order as
+every other event.  This module is the only place in ``sim/``,
+``core/``, or ``protocols/`` allowed to touch ``heapq`` directly
+(lint rule G2G007).
 """
 
 from __future__ import annotations
@@ -13,9 +24,11 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 from enum import IntEnum
-from typing import Iterator, List, Optional, Tuple
+from typing import Any, Iterator, List, Optional, Protocol, Tuple
 
+from ..perf.counters import COUNTERS
 from ..traces.trace import Contact, NodeId
+from .eventlog import EventLog, EventType
 
 
 class EventKind(IntEnum):
@@ -24,19 +37,65 @@ class EventKind(IntEnum):
     CONTACT_END = 0
     CONTACT_START = 1
     MESSAGE_GENERATION = 2
+    TIMER = 3
+
+
+class TimerOwner(Protocol):
+    """Anything that can receive a timer dispatch.
+
+    Protocols, node states, and run services implement this
+    structurally; no registration beyond scheduling a timer with
+    ``owner=self`` (or relying on the scheduler's default owner) is
+    needed.
+    """
+
+    def on_timer(self, tag: str, payload: Any, now: float) -> None:
+        """A timer registered by (or for) this owner fired."""
+        ...  # pragma: no cover - protocol declaration
+
+
+class TimerHandle:
+    """One scheduled timer; returned by :meth:`Scheduler.schedule`.
+
+    The handle doubles as the queue entry's payload: cancellation
+    flips ``cancelled`` and the dispatch loop skips the entry when it
+    surfaces (lazy deletion — no heap surgery, no reordering).
+    """
+
+    __slots__ = ("time", "tag", "payload", "owner", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        tag: str,
+        payload: Any = None,
+        owner: Optional[TimerOwner] = None,
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.tag = tag
+        self.payload = payload
+        self.owner = owner
+        self.cancelled = cancelled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"TimerHandle(t={self.time}, tag={self.tag!r}, {state})"
 
 
 @dataclass(frozen=True)
 class Event:
     """One scheduled simulator event.
 
-    Exactly one of ``contact`` / ``traffic`` is set, matching ``kind``.
+    Exactly one of ``contact`` / ``traffic`` / ``timer`` is set,
+    matching ``kind``.
     """
 
     time: float
     kind: EventKind
     contact: Optional[Contact] = None
     traffic: Optional[Tuple[NodeId, NodeId]] = None  # (source, destination)
+    timer: Optional[TimerHandle] = None
 
 
 class EventQueue:
@@ -57,14 +116,24 @@ class EventQueue:
         )
         self._sequence += 1
 
-    def push_contact(self, contact: Contact) -> None:
-        """Schedule the start and end events of a contact."""
+    def push_contact(
+        self, contact: Contact, horizon: Optional[float] = None
+    ) -> None:
+        """Schedule the start and end events of a contact.
+
+        With a ``horizon``, an end past it is clamped to the horizon:
+        a contact still open at run end closes *at* run end instead of
+        leaking an event past it (or, worse, never closing at all).
+        """
+        end = contact.end if horizon is None else min(contact.end, horizon)
         self.push(
             Event(time=contact.start, kind=EventKind.CONTACT_START, contact=contact)
         )
-        self.push(
-            Event(time=contact.end, kind=EventKind.CONTACT_END, contact=contact)
-        )
+        self.push(Event(time=end, kind=EventKind.CONTACT_END, contact=contact))
+
+    def peek(self) -> Optional[Event]:
+        """The earliest event without removing it (None when empty)."""
+        return self._heap[0][3] if self._heap else None
 
     def pop(self) -> Event:
         """Remove and return the earliest event.
@@ -84,3 +153,105 @@ class EventQueue:
         """Yield events in time order until the queue is empty."""
         while self._heap:
             yield self.pop()
+
+
+class Scheduler:
+    """The run scheduler: deferred work as first-class events.
+
+    Owns an :class:`EventQueue` and turns ``schedule``/``cancel``
+    requests into :data:`EventKind.TIMER` entries that the engine
+    dispatches in the global ``(time, priority, sequence)`` order.
+    Determinism contract:
+
+    * timers at equal timestamps dispatch in scheduling order (the
+      queue's sequence tiebreak);
+    * a timer at time *t* fires after every contact and generation at
+      *t* (``TIMER`` is the highest priority value), so "strictly
+      before now" semantics fall out of event ordering alone;
+    * timers past the run horizon are dropped at scheduling time —
+      they could never fire inside the run.
+
+    Args:
+        queue: the event queue shared with the engine loop.
+        horizon: run length; timers scheduled past it are stillborn.
+        default_owner: receiver for timers scheduled without an
+            explicit owner (the engine passes the bound protocol).
+        events: the run's :class:`EventLog`; dispatches are logged
+            as :data:`EventType.TIMER` entries when tracking is on.
+    """
+
+    def __init__(
+        self,
+        queue: EventQueue,
+        horizon: Optional[float] = None,
+        default_owner: Optional[TimerOwner] = None,
+        events: Optional[EventLog] = None,
+    ) -> None:
+        self.queue = queue
+        self.horizon = horizon
+        self.default_owner = default_owner
+        self.events = events
+
+    def schedule(
+        self,
+        time: float,
+        tag: str,
+        payload: Any = None,
+        owner: Optional[TimerOwner] = None,
+    ) -> TimerHandle:
+        """Register a timer; returns its (cancellable) handle.
+
+        A timer past the horizon is returned already cancelled and
+        never enqueued — the old private-heap mechanisms likewise
+        never acted on deadlines beyond run end.
+        """
+        handle = TimerHandle(time=time, tag=tag, payload=payload, owner=owner)
+        if self.horizon is not None and time > self.horizon:
+            handle.cancelled = True
+            return handle
+        COUNTERS.timers_scheduled += 1
+        self.queue.push(Event(time=time, kind=EventKind.TIMER, timer=handle))
+        return handle
+
+    def cancel(self, handle: TimerHandle) -> None:
+        """Cancel a pending timer (idempotent; lazy queue deletion)."""
+        if not handle.cancelled:
+            handle.cancelled = True
+            COUNTERS.timers_cancelled += 1
+
+    def fire(self, handle: TimerHandle, now: float) -> None:
+        """Dispatch one surfaced timer entry (engine loop hook)."""
+        if handle.cancelled:
+            return
+        COUNTERS.timer_dispatches += 1
+        if self.events is not None and self.events.enabled:
+            self.events.log(now, EventType.TIMER, detail=handle.tag)
+        owner = handle.owner if handle.owner is not None else self.default_owner
+        if owner is not None:
+            owner.on_timer(handle.tag, handle.payload, now)
+
+    def dispatch_until(self, now: float) -> None:
+        """Fire every queued timer strictly before ``now``.
+
+        The standalone-driver counterpart of the engine loop: tests
+        and harnesses that call protocol hooks directly (no
+        ``Simulation.run()``) advance the scheduler through this.
+        Under the engine it is a guaranteed no-op — every event
+        strictly before the one being dispatched has already been
+        popped, and same-instant events are excluded by the strict
+        inequality — so protocols may call it unconditionally.  Only
+        head ``TIMER`` events are consumed; contacts and generations
+        are left for whoever loaded them.
+        """
+        queue = self.queue
+        while True:
+            event = queue.peek()
+            if (
+                event is None
+                or event.kind is not EventKind.TIMER
+                or event.time >= now
+            ):
+                return
+            queue.pop()
+            assert event.timer is not None
+            self.fire(event.timer, event.time)

@@ -12,25 +12,29 @@ settles the buffer-size integral up to ``now``, then applies.
 
 Relay-eligible copies (body present, TTL not yet expired) are kept in
 a side index maintained by the same mutation helpers: an
-insertion-ordered dict of candidates plus a min-heap of expiry times
-for lazy TTL eviction.  ``live_copies``/``relay_candidates`` read the
-index instead of re-filtering the whole buffer, which turns the
-per-contact offer scan from O(buffer) ``alive_at`` calls into a dict
-iteration — the single biggest win of the relay-loop overhaul.
+insertion-ordered dict of candidates pruned by TTL-expiry timers on
+the run scheduler (one registered per store, cancelled when the copy
+or its body goes away first).  ``live_copies``/``relay_candidates``
+read the index instead of re-filtering the whole buffer, which turns
+the per-contact offer scan from O(buffer) ``alive_at`` calls into a
+dict iteration — the single biggest win of the relay-loop overhaul.
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set
 
 from ..adversaries.base import HONEST, Strategy
 from ..crypto.keys import NodeIdentity
 from ..perf.counters import COUNTERS
 from ..traces.trace import NodeId
+from .events import Scheduler, TimerHandle
 from .messages import StoredCopy
 from .results import SimulationResults
+
+#: Scheduler tag of the per-copy TTL-expiry timers.
+TTL_TIMER_TAG = "node.ttl"
 
 
 @dataclass
@@ -59,16 +63,30 @@ class NodeState:
     _buffer_bytes: int = 0
     _memory_clock: float = 0.0
     # Relay-candidate index: insertion-ordered copies whose body is
-    # present and whose TTL has not been (lazily) found expired, plus
-    # the expiry heap driving the lazy eviction.  Maintained by
-    # store/drop/drop_body/flush; excluded from equality so two nodes
-    # with identical buffers compare equal regardless of scan history.
+    # present and whose TTL has not yet been found expired.  Pruned by
+    # per-copy TTL timers on the run scheduler; queries additionally
+    # filter on ``expires_at`` so the index never needs to be exact.
+    # Maintained by store/drop/drop_body/flush; excluded from equality
+    # so two nodes with identical buffers compare equal regardless of
+    # scan history.
     _relayable: Dict[int, StoredCopy] = field(
         default_factory=dict, repr=False, compare=False
     )
-    _expiry_heap: List[Tuple[float, int]] = field(
-        default_factory=list, repr=False, compare=False
+    _scheduler: Optional[Scheduler] = field(
+        default=None, repr=False, compare=False
     )
+    _ttl_handles: Dict[int, TimerHandle] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def attach_scheduler(self, scheduler: Scheduler) -> None:
+        """Wire the run scheduler in (engine setup).
+
+        Without one (hand-built node states in unit tests) the node
+        simply schedules no TTL timers; the query-time ``expires_at``
+        filter alone keeps the candidate scans correct.
+        """
+        self._scheduler = scheduler
 
     def has_copy(self, msg_id: int) -> bool:
         """True while a live copy is buffered."""
@@ -109,9 +127,12 @@ class NodeState:
         self._buffer_bytes += copy.message.size_bytes
         if not copy.body_dropped:
             self._relayable[msg_id] = copy
-            heapq.heappush(
-                self._expiry_heap, (copy.message.expires_at, msg_id)
-            )
+            if self._scheduler is not None:
+                handle = self._scheduler.schedule(
+                    copy.message.expires_at, TTL_TIMER_TAG, msg_id, owner=self
+                )
+                if not handle.cancelled:  # expiry within the horizon
+                    self._ttl_handles[msg_id] = handle
         return copy
 
     def drop(
@@ -125,6 +146,7 @@ class NodeState:
                 0 if copy.body_dropped else copy.message.size_bytes
             )
             self._relayable.pop(msg_id, None)
+            self._cancel_ttl_timer(msg_id)
         return copy
 
     def drop_body(
@@ -142,6 +164,7 @@ class NodeState:
         copy.body_dropped = True
         self._buffer_bytes -= copy.message.size_bytes
         self._relayable.pop(msg_id, None)
+        self._cancel_ttl_timer(msg_id)
 
     def flush(self, now: float, results: SimulationResults) -> None:
         """Settle accounting and clear the buffer (eviction/run end)."""
@@ -149,24 +172,34 @@ class NodeState:
         self.buffer.clear()
         self._buffer_bytes = 0
         self._relayable.clear()
-        self._expiry_heap.clear()
+        if self._ttl_handles:
+            scheduler = self._scheduler
+            if scheduler is not None:
+                for handle in self._ttl_handles.values():
+                    scheduler.cancel(handle)
+            self._ttl_handles.clear()
 
     # -- relay-candidate index -----------------------------------------
 
-    def _evict_expired(self, now: float) -> None:
-        """Lazily drop index entries whose TTL has passed.
+    def _cancel_ttl_timer(self, msg_id: int) -> None:
+        """Retire the TTL timer of a copy leaving the index early."""
+        handle = self._ttl_handles.pop(msg_id, None)
+        if handle is not None and self._scheduler is not None:
+            self._scheduler.cancel(handle)
 
-        Heap entries can be stale (the copy was dropped or its body
-        discarded since the push); the index dict is authoritative, the
-        heap only schedules when to look.
+    def on_timer(self, tag: str, payload: Any, now: float) -> None:
+        """TTL-expiry dispatch: prune the copy from the index.
+
+        ``TIMER`` events sort after contacts at the same instant, and
+        the query-time filter below already treats ``expires_at <=
+        now`` as dead, so pruning here is pure compaction — results
+        are identical with or without the timer firing (which is what
+        keeps scheduler-less unit-test nodes correct).
         """
-        heap = self._expiry_heap
-        relayable = self._relayable
-        while heap and heap[0][0] <= now:
-            _expiry, msg_id = heapq.heappop(heap)
-            copy = relayable.get(msg_id)
-            if copy is not None and copy.message.expires_at <= now:
-                del relayable[msg_id]
+        self._ttl_handles.pop(payload, None)
+        copy = self._relayable.get(payload)
+        if copy is not None and copy.message.expires_at <= now:
+            del self._relayable[payload]
 
     def live_copies(self, now: float) -> List[StoredCopy]:
         """Copies of messages still within their TTL, as a list.
@@ -175,10 +208,14 @@ class NodeState:
         iterating.  Order matches buffer insertion order, exactly as
         the pre-index full-buffer filter produced.
         """
-        self._evict_expired(now)
         COUNTERS.buffer_scans += 1
-        COUNTERS.buffer_scanned += len(self._relayable)
-        return list(self._relayable.values())
+        live = [
+            copy
+            for copy in self._relayable.values()
+            if copy.message.expires_at > now
+        ]
+        COUNTERS.buffer_scanned += len(live)
+        return live
 
     def relay_candidates(
         self, now: float, exclude: Set[int]
@@ -190,12 +227,14 @@ class NodeState:
         would actually accept (step 1's "have you handled H(m)?"
         answered in bulk, before any signing work).
         """
-        self._evict_expired(now)
-        relayable = self._relayable
         COUNTERS.buffer_scans += 1
-        COUNTERS.buffer_scanned += len(relayable)
-        return [
-            copy
-            for msg_id, copy in relayable.items()
-            if msg_id not in exclude
-        ]
+        scanned = 0
+        out = []
+        for msg_id, copy in self._relayable.items():
+            if copy.message.expires_at <= now:
+                continue  # expired, timer not yet dispatched
+            scanned += 1
+            if msg_id not in exclude:
+                out.append(copy)
+        COUNTERS.buffer_scanned += scanned
+        return out

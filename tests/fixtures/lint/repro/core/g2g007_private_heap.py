@@ -1,0 +1,12 @@
+"""Fixture: a hot-package module keeping a private timer heap.
+
+Deliberate G2G007 violation — deferred work in ``core/`` must route
+through the run scheduler (``SimulationContext.schedule``), not a
+module-local ``heapq``.
+"""
+
+import heapq
+
+
+def schedule_purge(heap, deadline, msg_id):
+    heapq.heappush(heap, (deadline, msg_id))

@@ -31,11 +31,12 @@ EXPECTED = {
     "G2G004": ("repro/protocols/g2g004_frozen_mutation.py", 16),
     "G2G005": ("repro/sim/node.py", 1),
     "G2G006": ("repro/metrics/g2g006_broad_except.py", 8),
+    "G2G007": ("repro/core/g2g007_private_heap.py", 8),
 }
 
 
 class TestFixtures:
-    def test_registry_has_all_six_rules(self):
+    def test_registry_has_all_rules(self):
         assert sorted(RULE_REGISTRY) == sorted(EXPECTED)
 
     @pytest.mark.parametrize("rule_id", sorted(EXPECTED))
@@ -206,7 +207,7 @@ class TestCli:
     def test_lint_fixtures_exits_nonzero(self, capsys):
         assert main(["lint", str(FIXTURES)]) == 1
         out = capsys.readouterr().out
-        assert "6 violations" in out
+        assert "7 violations" in out
 
     def test_lint_shipped_tree_exits_zero(self, capsys):
         assert main(["lint", str(REPO_ROOT / "src")]) == 0

@@ -3,7 +3,8 @@
 This is the dynamic counterpart of lint rule G2G001 (no global-RNG
 draws): after auditing every ``import random`` module and converting
 the unseeded fallbacks to fixed-seed instances, two executions of the
-same seeded cambridge06 run must serialize to byte-identical JSON —
+same seeded run (on either synthetic trace) must serialize to
+byte-identical JSON —
 the property all paper-figure comparisons rest on.  If this test ever
 fails, some code path started drawing from outside the injected
 per-run RNGs.
@@ -11,6 +12,8 @@ per-run RNGs.
 
 import hashlib
 import json
+
+import pytest
 
 from repro.experiments.parallel import RunRequest, execute_request
 from repro.sim.serialize import results_to_dict
@@ -35,9 +38,13 @@ QUICK = (
 
 
 class TestSeededRunsAreReproducible:
-    def test_identical_seeded_runs_identical_digests(self):
+    # Both synthetic traces: a determinism leak that only manifests on
+    # one trace's contact pattern (e.g. a timer/contact tie) would slip
+    # past a single-trace check.
+    @pytest.mark.parametrize("trace_name", ["cambridge06", "infocom05"])
+    def test_identical_seeded_runs_identical_digests(self, trace_name):
         request = RunRequest(
-            trace_name="cambridge06",
+            trace_name=trace_name,
             family="epidemic",
             protocol_name="g2g_epidemic",
             seed=1,

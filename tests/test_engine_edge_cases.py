@@ -54,6 +54,28 @@ class TestHorizon:
         # was accumulated for the sources' own copies at least.
         assert results.total_memory_byte_seconds > 0
 
+    def test_contact_open_at_run_end_closes_at_horizon(self):
+        # Regression: a contact still open at run end used to have its
+        # END event silently dropped (scheduled past the horizon); the
+        # engine now clamps it so the contact closes *at* the horizon.
+        class RecordingEpidemic(EpidemicForwarding):
+            def __init__(self):
+                super().__init__()
+                self.contact_ends = []
+
+            def on_contact_end(self, node_a, node_b, now):
+                self.contact_ends.append((node_a, node_b, now))
+                super().on_contact_end(node_a, node_b, now)
+
+        trace = ContactTrace(
+            name="open-at-end",
+            nodes=(0, 1),
+            contacts=(make_contact(0, 1, 2900.0, 5000.0),),
+        )
+        protocol = RecordingEpidemic()
+        Simulation(trace, protocol, config()).run()
+        assert protocol.contact_ends == [(0, 1, 3000.0)]
+
 
 class TestBlacklistWiring:
     def test_engine_gossips_on_contacts(self):
@@ -89,6 +111,67 @@ class TestBlacklistWiring:
             trace, EpidemicForwarding(), config(instant_blacklist=False)
         )
         assert isinstance(sim2.blacklist, GossipBlacklist)
+
+    def test_round_interval_flows_from_config(self):
+        trace = ContactTrace(name="t", nodes=(0, 1), contacts=())
+        sim = Simulation(
+            trace,
+            EpidemicForwarding(),
+            config(instant_blacklist=False, blacklist_round_interval=600.0),
+        )
+        assert isinstance(sim.blacklist, GossipBlacklist)
+        assert sim.blacklist.round_interval == 600.0
+
+    def test_propagation_round_reaches_isolated_nodes(self):
+        # A node that never meets anyone still learns a PoM once a
+        # scheduler-driven propagation round passes.
+        from repro.core.blacklist import ProofOfMisbehavior
+        from repro.sim.events import EventQueue, Scheduler
+
+        gossip = GossipBlacklist(round_interval=100.0)
+        scheduler = Scheduler(EventQueue(), horizon=250.0)
+        gossip.on_run_start(scheduler, (0, 1, 2))
+        gossip.publish(
+            ProofOfMisbehavior(
+                offender=1, detector=0, msg_id=7,
+                deviation="dropper", issued_at=5.0,
+            )
+        )
+        assert gossip.knows(0, 1)
+        assert not gossip.knows(2, 1)
+        scheduler.dispatch_until(150.0)  # first round at t=100 fired
+        assert gossip.knows(2, 1)
+        assert gossip.awareness(1) == 3
+        # The chain keeps going at 200 but ends at the horizon: after
+        # draining, no round-300 timer lingers in the queue.
+        scheduler.dispatch_until(10_000.0)
+        assert len(scheduler.queue) == 0
+
+    def test_round_interval_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="round_interval"):
+            GossipBlacklist(round_interval=0.0)
+
+
+class TestSchedulerIntegration:
+    def test_timer_dispatches_counted(self):
+        from repro.perf import COUNTERS
+
+        trace = ContactTrace(
+            name="timers",
+            nodes=(0, 1),
+            contacts=(
+                make_contact(0, 1, 100.0, 160.0),
+                make_contact(0, 1, 1500.0, 1560.0),
+            ),
+        )
+        before = COUNTERS.snapshot()
+        Simulation(trace, G2GEpidemicForwarding(), config()).run()
+        diff = COUNTERS.diff(before)
+        # TTL and Δ2 purge deadlines all route through the scheduler
+        # now, so a G2G run must both register and dispatch timers.
+        assert diff["timers_scheduled"] > 0
+        assert diff["timer_dispatches"] > 0
+        assert diff["timer_dispatches"] <= diff["timers_scheduled"]
 
 
 class TestRunSimulationHelper:

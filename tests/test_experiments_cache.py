@@ -94,6 +94,7 @@ class TestRunKey:
             "seed": base.seed + 1,
             "message_size": base.message_size * 2,
             "instant_blacklist": not base.instant_blacklist,
+            "blacklist_round_interval": 600.0,
             "energy": dataclasses.replace(base.energy, heavy_hmac=9.9),
             "heavy_hmac_iterations": base.heavy_hmac_iterations * 2,
             "track_memory": not base.track_memory,

@@ -129,6 +129,18 @@ class TestEndToEndLogging:
         )
         assert pom_time > first_drop
 
+    def test_timer_dispatches_visible(self, results):
+        # Scheduler timers are first-class events: with tracking on,
+        # every dispatch lands in the log tagged with its timer tag.
+        timers = results.events.filter(event_type=EventType.TIMER)
+        assert timers
+        known_tags = {
+            "node.ttl", "g2g.purge_buffer", "g2g.purge_records",
+            "quality.frame", "blacklist.round",
+        }
+        assert {e.detail for e in timers} <= known_tags
+        assert "node.ttl" in {e.detail for e in timers}
+
     def test_disabled_by_default(self):
         config = SimulationConfig()
         assert config.track_events is False

@@ -1,6 +1,10 @@
-"""Tests for the event queue."""
+"""Tests for the event queue and the run scheduler."""
 
-from repro.sim.events import Event, EventKind, EventQueue
+from itertools import permutations
+
+from repro.perf.counters import COUNTERS
+from repro.sim.eventlog import EventLog, EventType
+from repro.sim.events import Event, EventKind, EventQueue, Scheduler, TimerHandle
 from repro.traces import make_contact
 
 
@@ -53,3 +57,155 @@ class TestOrdering:
 
         with pytest.raises(IndexError):
             EventQueue().pop()
+
+
+def _event_of_kind(kind, time):
+    """A representative event of ``kind`` at ``time``."""
+    contact = make_contact(0, 1, time, time + 1.0)
+    if kind is EventKind.CONTACT_START:
+        return Event(time=time, kind=kind, contact=contact)
+    if kind is EventKind.CONTACT_END:
+        return Event(time=time, kind=kind, contact=contact)
+    if kind is EventKind.MESSAGE_GENERATION:
+        return Event(time=time, kind=kind, traffic=(0, 1))
+    return Event(time=time, kind=kind, timer=TimerHandle(time=time, tag="t"))
+
+
+class TestFourKindOrdering:
+    """All four kinds at one instant drain END < START < GEN < TIMER."""
+
+    CANONICAL = [
+        EventKind.CONTACT_END,
+        EventKind.CONTACT_START,
+        EventKind.MESSAGE_GENERATION,
+        EventKind.TIMER,
+    ]
+
+    def test_every_push_order_drains_canonically(self):
+        # The drain order is a property of the kind priorities alone:
+        # no interleaving of pushes may change it.
+        for order in permutations(self.CANONICAL):
+            q = EventQueue()
+            for kind in order:
+                q.push(_event_of_kind(kind, 42.0))
+            assert [e.kind for e in q.drain()] == self.CANONICAL, order
+
+    def test_sequence_tiebreak_is_stable_within_every_kind(self):
+        # Two events of each kind at the same instant, pushed
+        # round-robin: kinds sort by priority, and within one kind the
+        # push sequence is preserved (FIFO).
+        q = EventQueue()
+        tagged = []
+        for rank in range(2):
+            for kind in self.CANONICAL:
+                event = _event_of_kind(kind, 7.0)
+                tagged.append((kind, rank, event))
+                q.push(event)
+        drained = list(q.drain())
+        assert [e.kind for e in drained] == [
+            k for k in self.CANONICAL for _ in range(2)
+        ]
+        for kind in self.CANONICAL:
+            expected = [e for k, _, e in tagged if k is kind]
+            got = [e for e in drained if e.kind is kind]
+            assert got == expected
+
+    def test_timer_fires_after_same_instant_contact_and_generation(self):
+        # The contract the Δ2 purge migration relies on: a timer at t
+        # observes the run *after* every contact and generation at t.
+        q = EventQueue()
+        q.push(_event_of_kind(EventKind.TIMER, 5.0))
+        q.push_contact(make_contact(0, 1, 5.0, 6.0))
+        q.push(_event_of_kind(EventKind.MESSAGE_GENERATION, 5.0))
+        kinds = [e.kind for e in q.drain() if e.time == 5.0]
+        assert kinds == [
+            EventKind.CONTACT_START,
+            EventKind.MESSAGE_GENERATION,
+            EventKind.TIMER,
+        ]
+
+
+class _RecordingOwner:
+    def __init__(self):
+        self.fired = []
+
+    def on_timer(self, tag, payload, now):
+        self.fired.append((tag, payload, now))
+
+
+class TestScheduler:
+    def test_schedule_and_dispatch_in_order(self):
+        owner = _RecordingOwner()
+        sched = Scheduler(EventQueue(), default_owner=owner)
+        sched.schedule(3.0, "b", payload="late")
+        sched.schedule(1.0, "a", payload="early")
+        sched.dispatch_until(10.0)
+        assert owner.fired == [("a", "early", 1.0), ("b", "late", 3.0)]
+
+    def test_dispatch_until_is_strictly_before(self):
+        owner = _RecordingOwner()
+        sched = Scheduler(EventQueue(), default_owner=owner)
+        sched.schedule(5.0, "edge")
+        sched.dispatch_until(5.0)
+        assert owner.fired == []  # not <, so the 5.0 timer waits
+        sched.dispatch_until(5.0 + 1e-9)
+        assert owner.fired == [("edge", None, 5.0)]
+
+    def test_cancel_before_fire(self):
+        owner = _RecordingOwner()
+        sched = Scheduler(EventQueue(), default_owner=owner)
+        keep = sched.schedule(1.0, "keep")
+        kill = sched.schedule(2.0, "kill")
+        before = COUNTERS.snapshot()
+        sched.cancel(kill)
+        sched.cancel(kill)  # idempotent: one cancellation counted
+        sched.dispatch_until(10.0)
+        diff = COUNTERS.diff(before)
+        assert owner.fired == [("keep", None, 1.0)]
+        assert not keep.cancelled  # firing does not flip the flag
+        assert kill.cancelled
+        assert diff["timers_cancelled"] == 1
+        assert diff["timer_dispatches"] == 1
+
+    def test_horizon_refuses_unreachable_timers(self):
+        sched = Scheduler(EventQueue(), horizon=100.0)
+        before = COUNTERS.snapshot()
+        dead = sched.schedule(100.5, "beyond")
+        live = sched.schedule(100.0, "at-horizon")
+        diff = COUNTERS.diff(before)
+        assert dead.cancelled
+        assert not live.cancelled
+        assert len(sched.queue) == 1  # the stillborn timer never enqueued
+        assert diff["timers_scheduled"] == 1
+
+    def test_explicit_owner_beats_default(self):
+        default = _RecordingOwner()
+        explicit = _RecordingOwner()
+        sched = Scheduler(EventQueue(), default_owner=default)
+        sched.schedule(1.0, "routed", owner=explicit)
+        sched.schedule(2.0, "defaulted")
+        sched.dispatch_until(10.0)
+        assert explicit.fired == [("routed", None, 1.0)]
+        assert default.fired == [("defaulted", None, 2.0)]
+
+    def test_dispatches_logged_to_eventlog(self):
+        log = EventLog(enabled=True)
+        sched = Scheduler(EventQueue(), events=log)
+        sched.schedule(4.0, "node.ttl")
+        skipped = sched.schedule(6.0, "dropped.tag")
+        sched.cancel(skipped)
+        sched.dispatch_until(10.0)
+        timers = log.filter(event_type=EventType.TIMER)
+        assert [(e.time, e.detail) for e in timers] == [(4.0, "node.ttl")]
+
+    def test_dispatch_until_leaves_non_timer_events(self):
+        sched = Scheduler(EventQueue())
+        sched.queue.push_contact(make_contact(0, 1, 1.0, 2.0))
+        sched.schedule(1.5, "between")
+        sched.dispatch_until(10.0)
+        # The contact at 1.0 heads the queue: the drain must stop at
+        # it rather than consume engine-owned events (the timer behind
+        # it stays queued too).
+        assert len(sched.queue) == 3
+        head = sched.queue.peek()
+        assert head is not None and head.kind is EventKind.CONTACT_START
