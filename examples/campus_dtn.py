@@ -21,7 +21,7 @@ from pathlib import Path
 
 from repro import (
     G2GEpidemicForwarding,
-    Simulation,
+    api,
     cambridge06,
     load_trace,
 )
@@ -70,7 +70,7 @@ def main() -> None:
     for label, window in picks:
         sliced = window.slice(trace)
         config = config_for("cambridge06", "epidemic", seed=3)
-        results = Simulation(sliced, G2GEpidemicForwarding(), config).run()
+        results = api.run(sliced, G2GEpidemicForwarding(), config)
         rows.append(
             [
                 label,

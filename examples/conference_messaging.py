@@ -23,7 +23,7 @@ from repro import (
     CommunityMap,
     DelegationForwarding,
     G2GDelegationForwarding,
-    Simulation,
+    api,
     infocom05,
     standard_window,
 )
@@ -75,7 +75,7 @@ def main() -> None:
     for protocol in protocols:
         config = config_for("infocom05", "delegation", seed=11)
         print(f"Simulating {protocol.name}...")
-        results = Simulation(trace, protocol, config).run()
+        results = api.run(trace, protocol, config)
         rows.append(
             [
                 protocol.name,

@@ -20,8 +20,8 @@ from repro import (
     CommunityMap,
     EpidemicForwarding,
     G2GEpidemicForwarding,
-    Simulation,
     SimulationConfig,
+    api,
     strategy_population,
 )
 from repro.metrics import text_table
@@ -68,9 +68,9 @@ def main() -> None:
     rows = []
     convictions = None
     for protocol in (EpidemicForwarding(), G2GEpidemicForwarding()):
-        results = Simulation(
+        results = api.run(
             st.trace, protocol, sim_config, strategies=strategies
-        ).run()
+        )
         rows.append(
             [
                 protocol.name,

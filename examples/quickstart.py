@@ -13,8 +13,8 @@ Run:  python examples/quickstart.py
 from repro import (
     EpidemicForwarding,
     G2GEpidemicForwarding,
-    Simulation,
     SimulationConfig,
+    api,
     infocom05,
     standard_window,
 )
@@ -35,7 +35,7 @@ def main() -> None:
     rows = []
     for protocol in (EpidemicForwarding(), G2GEpidemicForwarding()):
         print(f"Simulating {protocol.name}...")
-        results = Simulation(trace, protocol, config).run()
+        results = api.run(trace, protocol, config)
         rows.append(
             [
                 protocol.name,

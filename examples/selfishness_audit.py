@@ -12,7 +12,7 @@ Run:  python examples/selfishness_audit.py
 from repro import (
     G2GDelegationForwarding,
     GossipBlacklist,
-    Simulation,
+    api,
     infocom05,
     make_strategy,
     standard_window,
@@ -44,10 +44,10 @@ def main() -> None:
         f"Planting {len(roles)} selfish nodes among {trace.num_nodes}: "
         + ", ".join(f"{n}={k}" for n, k in sorted(roles.items()))
     )
-    results = Simulation(
+    results = api.run(
         trace, G2GDelegationForwarding("last_contact"), config,
         strategies=strategies,
-    ).run()
+    )
 
     print("\nConviction timeline (first PoM per offender):")
     rows = []
@@ -98,11 +98,11 @@ def main() -> None:
     config_gossip = config_for(
         "infocom05", "delegation", seed=5, instant_blacklist=False
     )
-    results_gossip = Simulation(
+    results_gossip = api.run(
         trace, G2GDelegationForwarding("last_contact"), config_gossip,
         strategies=plant_adversaries(trace)[0],
         blacklist=gossip,
-    ).run()
+    )
     print(
         f"Gossip mode: {len(results_gossip.first_detections())} convictions; "
         "awareness of each offender at the end of the run:"

@@ -11,6 +11,9 @@ library:
    in the terminal;
 4. export the flat summary table as CSV.
 
+For in-memory sweeps without the archival layer, use the facade
+instead: ``repro.api.sweep(trace, protocol, counts, workers=...)``.
+
 Run:  python examples/sweep_campaign.py          (first run simulates)
       python examples/sweep_campaign.py          (second run is instant)
 """
@@ -19,6 +22,7 @@ import tempfile
 from collections import defaultdict
 from pathlib import Path
 
+from repro.experiments.parallel import ExecutionOptions
 from repro.experiments.runner import FigureData, Series
 from repro.experiments.sweeps import RunSpec, SweepRunner, dropper_grid
 from repro.metrics import chart_figure
@@ -53,7 +57,10 @@ def main() -> None:
         f"Campaign: {len(all_specs)} runs "
         f"({done_before} already archived under {ARCHIVE.name}/)"
     )
-    results = runner.run_all(all_specs)
+    # Two workers overlap the fresh runs; archived ones just load.
+    results = runner.run_all(
+        all_specs, options=ExecutionOptions(workers=2)
+    )
 
     # Aggregate into delivery-vs-droppers curves.
     curves = defaultdict(lambda: defaultdict(list))

@@ -8,22 +8,29 @@ for the CRAWDAD evaluation traces, the dropper/liar/cheater adversary
 models, and a harness regenerating every table and figure of the
 paper's evaluation.
 
-Quickstart::
+Quickstart — the :mod:`repro.api` facade is the blessed entry point::
 
-    from repro import (
-        Simulation, SimulationConfig, G2GEpidemicForwarding,
-        infocom05, standard_window,
-    )
+    from repro import api
 
-    synthetic = infocom05()
-    trace = standard_window(synthetic).slice(synthetic.trace)
-    config = SimulationConfig(ttl=30 * 60.0, seed=7)
-    results = Simulation(trace, G2GEpidemicForwarding(), config).run()
+    results = api.run(trace="infocom05", protocol="g2g_epidemic", seed=7)
     print(f"delivered {results.success_rate:.0%} at cost {results.cost:.1f}")
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record.
+    points = api.sweep(
+        trace="cambridge06", protocol="g2g_epidemic",
+        counts=(0, 5, 10), adversary="dropper", workers=4,
+    )
+
+The lower-level entry points (:class:`Simulation`,
+:func:`run_simulation`, ``repro.experiments.run_point``) stay public
+and supported — the facade wraps them — but new code should go through
+``repro.api``; its surface is pinned by ``tests/test_public_api.py``.
+
+See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+paper-vs-measured record, and docs/observability.md for the run
+telemetry the facade can export.
 """
+
+from . import api
 
 from .adversaries import (
     Cheater,
@@ -56,6 +63,7 @@ from .sim import (
     run_simulation,
 )
 from .social import CommunityMap
+from .telemetry import MetricsRegistry, RunTelemetry, TelemetryCollector
 from .traces import (
     Contact,
     ContactTrace,
@@ -84,12 +92,16 @@ __all__ = [
     "InstantBlacklist",
     "Liar",
     "Message",
+    "MetricsRegistry",
     "OutsiderConditioned",
     "ProofOfMisbehavior",
+    "RunTelemetry",
     "Simulation",
     "SimulationConfig",
     "SimulationResults",
     "Strategy",
+    "TelemetryCollector",
+    "api",
     "cambridge06",
     "config_for",
     "infocom05",

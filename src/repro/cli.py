@@ -10,36 +10,91 @@ Commands:
 * ``trace`` — generate a synthetic evaluation trace, print its
   profile, and optionally save it in the CRAWDAD-style text format.
 * ``communities`` — run k-clique community detection on a trace.
+* ``telemetry`` — summarize or validate exported telemetry JSONL.
 * ``perf`` — time the relay-loop hot-path benchmark and write
   ``BENCH_hotpath.json``.
 * ``lint`` — run the G2G determinism/invariant lint rules over source
   trees (see ``docs/development.md``).
 
+The run-shaped commands (``simulate``, ``sweep``, ``trace``,
+``communities``) share their ``--trace``/``--protocol``/``--seed``
+flags via common parent parsers, and ``--workers``/``--telemetry-dir``
+are spelled identically wherever they appear — one flag vocabulary
+across the whole CLI.
+
 Examples::
 
     python -m repro simulate --trace infocom05 --protocol g2g_epidemic \
-        --adversary dropper --count 10
-    python -m repro experiment fig8
+        --adversary dropper --count 10 --telemetry-dir telemetry/
+    python -m repro experiment fig8 --workers 4
+    python -m repro telemetry summarize telemetry/
     python -m repro trace --trace cambridge06 --out cambridge06.contacts
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional
 
 from .adversaries import strategy_population
-from .experiments import (
-    LABELS,
-    PROTOCOLS,
-    evaluation_community,
-    evaluation_trace,
-    standard_config,
-)
-from .sim import Simulation
+from .experiments import LABELS, PROTOCOLS
 from .social import CommunityMap
 from .traces import TraceProfile, save_trace, trace_by_name
+
+
+def _trace_parent() -> argparse.ArgumentParser:
+    """Shared ``--trace`` flag (identical on every run-shaped command)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--trace", choices=("infocom05", "cambridge06"), default="infocom05",
+        help="evaluation trace (default: infocom05)",
+    )
+    return parent
+
+
+def _protocol_parent() -> argparse.ArgumentParser:
+    """Shared ``--protocol`` flag (identical on simulate and sweep)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--protocol", choices=sorted(PROTOCOLS), default="g2g_epidemic",
+        help="catalog protocol name (default: g2g_epidemic)",
+    )
+    return parent
+
+
+def _seed_parent(default: int) -> argparse.ArgumentParser:
+    """Shared ``--seed`` flag; the default varies per command."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--seed", type=int, default=default,
+        help=f"master seed (default: {default})",
+    )
+    return parent
+
+
+def _workers_parent() -> argparse.ArgumentParser:
+    """Shared ``--workers`` flag (identical on experiment and sweep)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--workers", type=int, default=1,
+        help="simulation worker processes (1 = sequential; parallel "
+        "output is bit-identical to sequential)",
+    )
+    return parent
+
+
+def _telemetry_parent() -> argparse.ArgumentParser:
+    """Shared ``--telemetry-dir`` flag (simulate/experiment/sweep)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--telemetry-dir", default=None, metavar="DIR",
+        help="append per-run telemetry JSONL records under this "
+        "directory (see docs/observability.md)",
+    )
+    return parent
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,12 +105,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    simulate = sub.add_parser("simulate", help="run one simulation")
-    simulate.add_argument(
-        "--trace", choices=("infocom05", "cambridge06"), default="infocom05"
-    )
-    simulate.add_argument(
-        "--protocol", choices=sorted(PROTOCOLS), default="g2g_epidemic"
+    simulate = sub.add_parser(
+        "simulate", help="run one simulation",
+        parents=[
+            _trace_parent(), _protocol_parent(), _seed_parent(1),
+            _telemetry_parent(),
+        ],
     )
     simulate.add_argument(
         "--adversary",
@@ -65,10 +120,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument("--count", type=int, default=0,
                           help="number of deviating nodes")
-    simulate.add_argument("--seed", type=int, default=1)
+    simulate.add_argument(
+        "--json", action="store_true",
+        help="print the run as one JSON record (the same schema as "
+        "the telemetry JSONL export) instead of the human summary",
+    )
 
     experiment = sub.add_parser(
-        "experiment", help="regenerate a paper table/figure"
+        "experiment", help="regenerate a paper table/figure",
+        parents=[_workers_parent(), _telemetry_parent()],
     )
     experiment.add_argument(
         "name",
@@ -80,11 +140,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--full", action="store_true", help="full paper grids (slow)"
     )
     experiment.add_argument(
-        "--workers", type=int, default=1,
-        help="simulation worker processes (1 = sequential; parallel "
-        "output is bit-identical to sequential)",
-    )
-    experiment.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="per-run result cache directory "
         "(default: .repro-cache)",
@@ -94,21 +149,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="bypass the run cache entirely (no reads, no writes)",
     )
 
-    trace = sub.add_parser("trace", help="generate and inspect a trace")
-    trace.add_argument(
-        "--trace", choices=("infocom05", "cambridge06"), default="infocom05"
+    trace = sub.add_parser(
+        "trace", help="generate and inspect a trace",
+        parents=[_trace_parent(), _seed_parent(0)],
     )
-    trace.add_argument("--seed", type=int, default=0)
     trace.add_argument("--out", default=None, help="save to this path")
 
     sweep = sub.add_parser(
-        "sweep", help="run an archived, resumable adversary sweep"
-    )
-    sweep.add_argument(
-        "--trace", choices=("infocom05", "cambridge06"), default="infocom05"
-    )
-    sweep.add_argument(
-        "--protocol", choices=sorted(PROTOCOLS), default="g2g_epidemic"
+        "sweep", help="run an archived, resumable adversary sweep",
+        parents=[
+            _trace_parent(), _protocol_parent(), _workers_parent(),
+            _telemetry_parent(),
+        ],
     )
     sweep.add_argument("--adversary", default="dropper")
     sweep.add_argument(
@@ -119,6 +171,22 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--archive", default="sweep-runs",
                        help="archive directory")
     sweep.add_argument("--csv", default=None, help="also export CSV here")
+
+    telemetry = sub.add_parser(
+        "telemetry", help="summarize or validate telemetry exports"
+    )
+    telemetry.add_argument(
+        "action", choices=("summarize", "validate"),
+        help="summarize: merge every *.jsonl under DIR and print a "
+        "Prometheus-style text summary; validate: schema-check every "
+        "record",
+    )
+    telemetry.add_argument("dir", help="directory of telemetry JSONL files")
+    telemetry.add_argument(
+        "--json", action="store_true",
+        help="(summarize) print the merged snapshot as JSON instead "
+        "of Prometheus-style text",
+    )
 
     perf = sub.add_parser(
         "perf", help="run the hot-path benchmark and write BENCH_hotpath.json"
@@ -154,10 +222,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     communities = sub.add_parser(
-        "communities", help="k-clique community detection"
-    )
-    communities.add_argument(
-        "--trace", choices=("infocom05", "cambridge06"), default="infocom05"
+        "communities", help="k-clique community detection",
+        parents=[_trace_parent(), _seed_parent(0)],
     )
     communities.add_argument("--k", type=int, default=3)
     communities.add_argument("--quantile", type=float, default=0.9)
@@ -165,24 +231,34 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def cmd_simulate(args) -> int:
-    family, factory = PROTOCOLS[args.protocol]
-    trace = evaluation_trace(args.trace)
-    config = standard_config(args.trace, family, args.seed)
-    community = evaluation_community(args.trace)
+    from . import api
+    from .experiments import evaluation_community, evaluation_trace
+    from .telemetry.export import record_line, run_record
+
     strategies = None
     misbehaving = ()
     if args.adversary and args.count > 0:
+        trace = evaluation_trace(args.trace)
+        community = evaluation_community(args.trace)
         strategies, misbehaving = strategy_population(
             trace.nodes, args.adversary, args.count,
             seed=args.seed, community=community,
         )
-        print(
-            f"planted {args.count} x {args.adversary}: "
-            f"nodes {list(misbehaving)}"
-        )
-    results = Simulation(
-        trace, factory(), config, strategies=strategies, community=community
-    ).run()
+        if not args.json:
+            print(
+                f"planted {args.count} x {args.adversary}: "
+                f"nodes {list(misbehaving)}"
+            )
+    results = api.run(
+        args.trace,
+        args.protocol,
+        seed=args.seed,
+        strategies=strategies,
+        telemetry=args.telemetry_dir,
+    )
+    if args.json:
+        print(record_line(run_record(results)))
+        return 0
     print(f"protocol : {LABELS[args.protocol]} on {args.trace}")
     print(f"messages : {results.generated} generated, "
           f"{results.delivered} delivered ({results.success_rate:.1%})")
@@ -201,6 +277,11 @@ def cmd_simulate(args) -> int:
                 f"  node {offender} convicted as {record.deviation} "
                 f"by node {record.detector} at {record.time / 60:.0f} min"
             )
+    if args.telemetry_dir:
+        print(
+            f"telemetry: appended to "
+            f"{os.path.join(args.telemetry_dir, 'runs.jsonl')}"
+        )
     return 0
 
 
@@ -208,6 +289,7 @@ def execution_options(args) -> "ExecutionOptions":
     """Build :class:`ExecutionOptions` from the experiment CLI flags."""
     from .experiments import ExecutionOptions, RunCache, RunReport
     from .experiments.cache import DEFAULT_CACHE_DIR
+    from .telemetry.export import TelemetryCollector
 
     cache = None
     if not args.no_cache:
@@ -218,8 +300,12 @@ def execution_options(args) -> "ExecutionOptions":
             raise SystemExit(
                 f"error: unusable cache directory {cache_dir!r}: {exc}"
             )
+    telemetry = None
+    if getattr(args, "telemetry_dir", None):
+        telemetry = TelemetryCollector()
     return ExecutionOptions(
-        workers=max(1, args.workers), cache=cache, report=RunReport()
+        workers=max(1, args.workers), cache=cache, report=RunReport(),
+        telemetry=telemetry,
     )
 
 
@@ -257,6 +343,14 @@ def cmd_experiment(args) -> int:
         if options.cache is not None:
             cache_note = f" [cache: {options.cache.stats.summary()}]"
         print(f"-- {options.report.summary()}{cache_note}")
+    if options.telemetry is not None and args.telemetry_dir:
+        path = os.path.join(args.telemetry_dir, f"{args.name}.jsonl")
+        written = options.telemetry.write_jsonl(path)
+        skipped = options.telemetry.skipped
+        print(
+            f"telemetry: {written} run records -> {path}"
+            + (f" ({skipped} cache hits without telemetry)" if skipped else "")
+        )
     return 0
 
 
@@ -276,7 +370,9 @@ def cmd_trace(args) -> int:
 
 
 def cmd_sweep(args) -> int:
+    from .experiments.parallel import ExecutionOptions
     from .experiments.sweeps import SweepRunner, dropper_grid
+    from .telemetry.export import TelemetryCollector
 
     counts = tuple(int(c) for c in args.counts.split(","))
     seeds = tuple(int(s) for s in args.seeds.split(","))
@@ -295,10 +391,67 @@ def cmd_sweep(args) -> int:
         deviation=args.adversary,
     )
     print(f"sweep {sweep_name}: {len(specs)} runs -> {runner.path_for(specs[0]).parent}")
-    runner.run_all(specs)
+    options = ExecutionOptions(workers=max(1, args.workers))
+    outcomes = runner.run_all(specs, options=options)
+    if args.telemetry_dir:
+        collector = TelemetryCollector()
+        for spec in specs:
+            collector.add(outcomes[spec])
+        path = os.path.join(args.telemetry_dir, "sweep.jsonl")
+        written = collector.write_jsonl(path)
+        skipped = collector.skipped
+        print(
+            f"telemetry: {written} run records -> {path}"
+            + (f" ({skipped} archived runs without telemetry)"
+               if skipped else "")
+        )
     if args.csv:
         written = runner.summary_csv(args.csv)
         print(f"wrote {written} summary rows to {args.csv}")
+    return 0
+
+
+def cmd_telemetry(args) -> int:
+    from .telemetry.export import (
+        read_jsonl,
+        summarize_dir,
+        to_prometheus,
+        validate_record,
+    )
+
+    if not os.path.isdir(args.dir):
+        raise SystemExit(f"error: not a directory: {args.dir}")
+    if args.action == "validate":
+        files = sorted(
+            entry for entry in os.listdir(args.dir)
+            if entry.endswith(".jsonl")
+        )
+        total = 0
+        problems = 0
+        for entry in files:
+            path = os.path.join(args.dir, entry)
+            for lineno, record in enumerate(read_jsonl(path), start=1):
+                total += 1
+                for problem in validate_record(record):
+                    problems += 1
+                    print(f"{path}:{lineno}: {problem}")
+        if problems:
+            print(f"{total} records, {problems} problems")
+            return 1
+        print(f"{total} records valid ({len(files)} files)")
+        return 0
+    try:
+        summary = summarize_dir(args.dir)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"telemetry summary: {summary['runs']} runs "
+        f"from {summary['files']} files"
+    )
+    print(to_prometheus(summary["telemetry"]), end="")
     return 0
 
 
@@ -354,7 +507,7 @@ def cmd_lint(args) -> int:
 
 
 def cmd_communities(args) -> int:
-    synthetic = trace_by_name(args.trace)
+    synthetic = trace_by_name(args.trace, seed=args.seed)
     cmap = CommunityMap.detect(
         synthetic.trace, k=args.k, edge_quantile=args.quantile
     )
@@ -377,6 +530,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": cmd_trace,
         "communities": cmd_communities,
         "sweep": cmd_sweep,
+        "telemetry": cmd_telemetry,
         "perf": cmd_perf,
         "lint": cmd_lint,
     }

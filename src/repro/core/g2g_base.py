@@ -38,6 +38,12 @@ from ..sim.eventlog import EventType
 from ..sim.messages import Message, StoredCopy
 from ..sim.node import NodeState
 from ..sim.results import DetectionRecord
+from ..telemetry.spans import (
+    SPAN_DESTINATION_TEST,
+    SPAN_POM,
+    SPAN_RELAY_HANDSHAKE,
+    SPAN_SENDER_TEST,
+)
 from ..traces.trace import NodeId
 from .blacklist import ProofOfMisbehavior
 from .proofs import (
@@ -395,6 +401,10 @@ class Give2GetBase(ForwardingProtocol):
             return False
         declaration = plan.declaration
         results.relay_attempts += 1
+        # The handshake span covers steps 3-5 (body transfer, PoR,
+        # key reveal); negotiation rejections above never open one.
+        spans = ctx.telemetry.spans
+        relay_span = spans.begin(now)
         # Step 3: RELAY, E_k(m) — the body crosses the air.
         results.record_replica(message)
         size = message.size_bytes + CONTROL_MESSAGE_SIZE
@@ -470,8 +480,11 @@ class Give2GetBase(ForwardingProtocol):
                     now, EventType.DELIVERED, msg_id=msg_id,
                     actor=giver_id, subject=taker_id,
                 )
+            dest_span = spans.begin(now)
             self._on_delivered(taker, plan.attachments, message, now)
+            spans.end(SPAN_DESTINATION_TEST, dest_span, now)
             COUNTERS.relay_handoffs += 1
+            spans.end(SPAN_RELAY_HANDSHAKE, relay_span, now)
             return True
         # "Label both messages with the forwarding quality of node B":
         # the giver's surviving copy adopts the taker's declared
@@ -511,6 +524,7 @@ class Give2GetBase(ForwardingProtocol):
                     now, EventType.DROPPED, msg_id=msg_id,
                     actor=taker_id, subject=giver_id,
                 )
+        spans.end(SPAN_RELAY_HANDSHAKE, relay_span, now)
         return True
 
     # -- the test phase ---------------------------------------------------
@@ -544,7 +558,10 @@ class Give2GetBase(ForwardingProtocol):
             if now > message.created_at + delta2:
                 continue  # the window closed; the relay may have purged
             record.tested.add(peer.node_id)
+            spans = self.ctx.telemetry.spans
+            test_span = spans.begin(now)
             self._test_one(source, peer, record, now)
+            spans.end(SPAN_SENDER_TEST, test_span, now)
             if peer.evicted:
                 return
 
@@ -648,6 +665,8 @@ class Give2GetBase(ForwardingProtocol):
     ) -> None:
         """Create, record, and broadcast a Proof of Misbehavior."""
         ctx = self.ctx
+        spans = ctx.telemetry.spans
+        pom_span = spans.begin(now)
         pom = ProofOfMisbehavior(
             offender=offender,
             detector=detector,
@@ -677,6 +696,7 @@ class Give2GetBase(ForwardingProtocol):
         )
         if ctx.config.instant_blacklist:
             ctx.evict(offender, now)
+        spans.end(SPAN_POM, pom_span, now)
 
     # -- housekeeping -------------------------------------------------------
 

@@ -27,6 +27,7 @@ from ..adversaries.factory import strategy_population
 from ..sim.config import SimulationConfig, config_for
 from ..sim.engine import Simulation
 from ..sim.results import SimulationResults
+from ..telemetry.export import TelemetryCollector
 from .cache import RunCache, run_key
 from .catalog import protocol
 from .setting import evaluation_community, evaluation_trace
@@ -178,12 +179,18 @@ class ExecutionOptions:
             a whole figure).
         on_progress: optional callback fired after each satisfied run
             with ``(done, total, was_cached)``.
+        telemetry: optional collector; every finished batch feeds its
+            results in **request order**, so the merged metric totals
+            are identical whatever the worker count.  Cache hits carry
+            no telemetry snapshot (the JSON run cache stores simulation
+            outcomes only) and are counted as skipped by the collector.
     """
 
     workers: int = 1
     cache: Optional[RunCache] = None
     report: Optional[RunReport] = None
     on_progress: Optional[Callable[[int, int, bool], None]] = None
+    telemetry: Optional[TelemetryCollector] = None
 
     def _tick(self, done: int, total: int, was_cached: bool) -> None:
         if self.on_progress is not None:
@@ -285,4 +292,9 @@ def run_requests(
             options.report.cached += cached
             # g2g: allow(G2G002: wall time feeds the run report only, never results)
             options.report.seconds += time.perf_counter() - started
+    if options.telemetry is not None:
+        # Fed strictly in request order (not completion order): float
+        # metric sums then fold identically for any worker count.
+        for result in results:
+            options.telemetry.add(result)
     return results

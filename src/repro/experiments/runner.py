@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..sim.results import SimulationResults
+from ..telemetry.run import merge_run_snapshots
 from .catalog import PROTOCOLS
 from .parallel import (
     ExecutionOptions,
@@ -51,6 +52,11 @@ class PointResult:
     detection_delay_after_ttl: float
     false_positives: int
     runs: List[SimulationResults] = field(repr=False, default_factory=list)
+    # Merged telemetry snapshot over the point's runs (counters add,
+    # gauges max, histograms/spans fold), or None when no run carried
+    # one — e.g. a fully cache-hit point, since the JSON run cache
+    # stores simulation outcomes only.
+    telemetry: Optional[Dict[str, object]] = field(repr=False, default=None)
 
     @property
     def success_percent(self) -> float:
@@ -79,7 +85,9 @@ def point_from_runs(
 
     All means derive directly from ``runs`` — no mutable accumulators —
     so the aggregation is independent of *how* (and in what order) the
-    runs were executed.
+    runs were executed.  Telemetry snapshots merge in run (seed) order
+    for the same reason: the folded totals are identical whether the
+    runs executed sequentially or across a worker pool.
     """
     adversarial = [
         (run, misbehaving)
@@ -111,6 +119,11 @@ def point_from_runs(
             len(run.false_positives(m)) for run, m in adversarial
         ),
         runs=list(runs),
+        telemetry=(
+            merge_run_snapshots([r.telemetry for r in runs])
+            if any(r.telemetry is not None for r in runs)
+            else None
+        ),
     )
 
 

@@ -37,6 +37,7 @@ from ..sim.results import SimulationResults
 from ..sim.serialize import load_results, save_results
 from ..sim.config import config_for
 from .catalog import protocol
+from .parallel import ExecutionOptions, RunRequest, run_requests
 from .setting import evaluation_community, evaluation_trace
 
 PathLike = Union[str, Path]
@@ -72,6 +73,25 @@ class RunSpec:
         for key, value in self.overrides:
             parts.append(f"{key}={value}")
         return "_".join(str(p) for p in parts)
+
+    def request(self) -> RunRequest:
+        """The :class:`RunRequest` equivalent of this grid point.
+
+        Executing the request reproduces :meth:`SweepRunner.run_one`
+        bit-for-bit — same trace/community caches, same
+        ``config_for`` call, same adversary placement — which is what
+        lets a sweep batch out over the process pool.
+        """
+        family, _ = protocol(self.protocol)
+        return RunRequest(
+            trace_name=self.trace,
+            family=family,
+            protocol_name=self.protocol,
+            seed=self.seed,
+            deviation=self.deviation if self.count else None,
+            deviation_count=self.count if self.deviation else 0,
+            overrides=tuple(sorted(self.overrides)),
+        )
 
 
 @dataclass
@@ -127,10 +147,43 @@ class SweepRunner:
         return results
 
     def run_all(
-        self, specs: List[RunSpec], force: bool = False
+        self,
+        specs: List[RunSpec],
+        force: bool = False,
+        options: Optional[ExecutionOptions] = None,
     ) -> Dict[RunSpec, SimulationResults]:
-        """Run every spec (skipping archived ones unless ``force``)."""
-        return {spec: self.run_one(spec, force=force) for spec in specs}
+        """Run every spec (skipping archived ones unless ``force``).
+
+        With ``options.workers > 1`` the non-archived specs execute as
+        one batch over the process pool (bit-identical to the
+        sequential path) and are archived as the batch lands; archived
+        specs still load in spec order and report ``was_cached=True``.
+        """
+        workers = options.workers if options is not None else 1
+        if workers <= 1:
+            return {spec: self.run_one(spec, force=force) for spec in specs}
+        pending = [
+            spec for spec in specs if force or not self.is_done(spec)
+        ]
+        fresh = dict(
+            zip(
+                (spec.spec_id for spec in pending),
+                run_requests(
+                    [spec.request() for spec in pending], options
+                ),
+            )
+        )
+        out: Dict[RunSpec, SimulationResults] = {}
+        for spec in specs:
+            if spec.spec_id in fresh:
+                results = fresh[spec.spec_id]
+                save_results(results, self.path_for(spec))
+                if self.on_result:
+                    self.on_result(spec, results, False)
+                out[spec] = results
+            else:
+                out[spec] = self.run_one(spec)
+        return out
 
     def collect(self) -> Dict[str, SimulationResults]:
         """Load every archived run of this sweep, keyed by spec id."""

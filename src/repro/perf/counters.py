@@ -39,6 +39,7 @@ FIELDS = (
     "timers_scheduled",      # scheduler timers registered on the queue
     "timer_dispatches",      # timers fired through the event loop
     "timers_cancelled",      # timers cancelled before firing
+    "spans_recorded",        # telemetry protocol-phase spans closed
 )
 
 
@@ -64,6 +65,7 @@ HOT_MODULE_COUNTERS: Dict[str, Tuple[str, ...]] = {
         "timers_scheduled", "timer_dispatches", "timers_cancelled",
     ),
     "sim/node.py": ("buffer_scans", "buffer_scanned"),
+    "telemetry/spans.py": ("spans_recorded",),
 }
 
 

@@ -24,6 +24,7 @@ from ..sim.events import Scheduler, TimerHandle, TimerOwner
 from ..sim.messages import Message
 from ..sim.node import NodeState
 from ..sim.results import SimulationResults
+from ..telemetry.run import RunTelemetry
 from ..traces.trace import NodeId
 
 
@@ -56,6 +57,9 @@ class SimulationContext:
         active_contacts: currently open contacts as unordered pairs.
         scheduler: the run scheduler timers route through; None only
             in hand-built contexts that never touch timers.
+        telemetry: the run's metrics registry + span recorder; the
+            engine folds run totals into it at run end and attaches
+            its snapshot to ``results.telemetry``.
     """
 
     config: SimulationConfig
@@ -67,6 +71,7 @@ class SimulationContext:
     active_contacts: Set[frozenset] = field(default_factory=set)
     events: EventLog = field(default_factory=lambda: EventLog(enabled=False))
     scheduler: Optional[Scheduler] = None
+    telemetry: RunTelemetry = field(default_factory=RunTelemetry)
 
     def node(self, node_id: NodeId) -> NodeState:
         """Runtime state of ``node_id``."""

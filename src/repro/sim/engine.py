@@ -27,6 +27,7 @@ if TYPE_CHECKING:  # circular at runtime: protocols.base imports sim
 
 from ..adversaries.base import HONEST, Strategy
 from ..core.blacklist import BlacklistService, GossipBlacklist, InstantBlacklist
+from ..perf import COUNTERS
 from ..traces.trace import ContactTrace, NodeId
 from .config import SimulationConfig
 from .eventlog import EventLog, EventType
@@ -116,7 +117,14 @@ class Simulation:
         )
 
     def run(self) -> SimulationResults:
-        """Execute the run and return its metrics."""
+        """Execute the run and return its metrics.
+
+        Besides the simulation outcome, the run's telemetry snapshot
+        (per-run perf-counter deltas, event-loop dispatch counts,
+        protocol-phase spans) is attached as ``results.telemetry`` —
+        observability only, never part of the serialized results.
+        """
+        ops_before = COUNTERS.snapshot()
         ctx = self._build_context()
         self.protocol.bind(ctx)
 
@@ -143,11 +151,13 @@ class Simulation:
             )
 
         msg_counter = 0
+        contact_starts = contact_ends = timer_events = 0
         for event in queue.drain():
             if event.time > horizon:  # defensive: everything is clamped
                 break  # pragma: no cover
             now = event.time
             if event.kind == EventKind.CONTACT_START:
+                contact_starts += 1
                 contact = event.contact
                 assert contact is not None
                 pair = frozenset((contact.a, contact.b))
@@ -156,11 +166,13 @@ class Simulation:
                     self.blacklist.on_contact(contact.a, contact.b, now)
                     self.protocol.on_contact_start(contact.a, contact.b, now)
             elif event.kind == EventKind.CONTACT_END:
+                contact_ends += 1
                 contact = event.contact
                 assert contact is not None
                 ctx.active_contacts.discard(frozenset((contact.a, contact.b)))
                 self.protocol.on_contact_end(contact.a, contact.b, now)
             elif event.kind == EventKind.TIMER:
+                timer_events += 1
                 assert event.timer is not None
                 scheduler.fire(event.timer, now)
             else:
@@ -185,6 +197,17 @@ class Simulation:
                 self.protocol.on_message_generated(message, now)
 
         self.protocol.finalize(horizon)
+        ctx.telemetry.finalize_run(
+            COUNTERS.diff(ops_before),
+            {
+                "contact_starts": contact_starts,
+                "contact_ends": contact_ends,
+                "timer_events": timer_events,
+                "generations": msg_counter,
+            },
+            ctx.results,
+        )
+        ctx.results.telemetry = ctx.telemetry.snapshot()
         return ctx.results
 
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Callable, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
 from ..traces.trace import NodeId
 
@@ -116,6 +116,14 @@ class EventLog:
                 continue
             out.append(event)
         return out
+
+    def type_counts(self) -> Dict[str, int]:
+        """Entry count per event-type value, key-sorted (for telemetry)."""
+        counts: Dict[str, int] = {}
+        for event in self._events:
+            name = event.event_type.value
+            counts[name] = counts.get(name, 0) + 1
+        return {name: counts[name] for name in sorted(counts)}
 
     def message_timeline(self, msg_id: int) -> List[ProtocolEvent]:
         """Every event touching one message, in time order."""

@@ -17,7 +17,7 @@ Collects exactly the quantities the paper reports:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Any, Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
@@ -88,6 +88,12 @@ class SimulationResults:
     deviation_counts: Dict[NodeId, int] = field(default_factory=dict)
     events: Optional[object] = None  # EventLog when config.track_events
     first_deviation_expiry: Dict[NodeId, float] = field(default_factory=dict)
+    # RunTelemetry snapshot attached by the engine at run end.  Like
+    # ``events``, this is observability sidecar state: it rides on the
+    # results object but is deliberately NOT part of the serialized
+    # form (results_to_dict) — the bit-identical digest/golden contract
+    # covers simulation outcomes only, and cache round-trips drop it.
+    telemetry: Optional[Dict[str, Any]] = field(default=None, repr=False)
 
     # -- recording hooks (called by protocols / the engine) -----------
 

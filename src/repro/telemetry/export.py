@@ -1,0 +1,204 @@
+"""Deterministic telemetry exporters: JSONL records + Prometheus text.
+
+Two export shapes, both derived from :meth:`RunTelemetry.snapshot`:
+
+* **JSONL** — one ``run`` record per line (schema below), written with
+  sorted keys and compact separators so identical runs produce
+  byte-identical lines.  ``repro telemetry summarize <dir>`` merges
+  every ``*.jsonl`` under a directory back into one snapshot.
+* **Prometheus-style text** — a human-greppable summary (``# TYPE``
+  comments plus ``name value`` lines, metric dots mapped to
+  underscores).  Meant for eyeballs and scrape-shaped tooling, not as
+  a parse-it-back format — JSONL is the round-trippable one.
+
+Record schema (version :data:`TELEMETRY_SCHEMA_VERSION`)::
+
+    {"schema": 1, "kind": "run",
+     "protocol": str, "trace": str, "seed": int,
+     "summary": {... SimulationResults.summary() ...},
+     "telemetry": {"counters": {...}, "gauges": {...},
+                   "histograms": {...}, "spans": {...}}}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, List, Optional
+
+from .registry import TELEMETRY_SCHEMA_VERSION
+from .run import merge_run_snapshots
+
+
+def run_record(results: Any) -> Dict[str, object]:
+    """Build the JSONL ``run`` record for one finished run.
+
+    ``results`` is a ``SimulationResults`` with its ``telemetry``
+    snapshot attached (the engine attaches one to every run).
+    """
+    return {
+        "schema": TELEMETRY_SCHEMA_VERSION,
+        "kind": "run",
+        "protocol": results.protocol,
+        "trace": results.trace,
+        "seed": results.seed,
+        "summary": results.summary(),
+        "telemetry": results.telemetry or {},
+    }
+
+
+def record_line(record: Dict[str, object]) -> str:
+    """Canonical single-line JSON encoding of one record."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def write_jsonl(path: str, records: Iterable[Dict[str, object]]) -> int:
+    """Append ``records`` to ``path`` (one per line); returns the count."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    written = 0
+    with open(path, "a", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(record_line(record) + "\n")
+            written += 1
+    return written
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Parse every record in one JSONL file."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def validate_record(record: object) -> List[str]:
+    """Schema problems in one record (empty list means valid)."""
+    problems: List[str] = []
+    if not isinstance(record, dict):
+        return [f"record is not an object: {type(record).__name__}"]
+    schema = record.get("schema")
+    if schema != TELEMETRY_SCHEMA_VERSION:
+        problems.append(
+            f"schema must be {TELEMETRY_SCHEMA_VERSION}, got {schema!r}"
+        )
+    if record.get("kind") != "run":
+        problems.append(f"kind must be 'run', got {record.get('kind')!r}")
+    for key, kinds in (
+        ("protocol", str), ("trace", str), ("seed", int),
+        ("summary", dict), ("telemetry", dict),
+    ):
+        if not isinstance(record.get(key), kinds):
+            problems.append(
+                f"{key} must be {kinds.__name__}, "
+                f"got {type(record.get(key)).__name__}"
+            )
+    telemetry = record.get("telemetry")
+    if isinstance(telemetry, dict) and telemetry:
+        for section in ("counters", "gauges", "histograms", "spans"):
+            if not isinstance(telemetry.get(section), dict):
+                problems.append(f"telemetry.{section} must be an object")
+    return problems
+
+
+def _prom_name(name: str) -> str:
+    return name.replace(".", "_").replace("-", "_")
+
+
+def to_prometheus(snapshot: Dict[str, object]) -> str:
+    """Prometheus-style text rendering of a (merged) snapshot."""
+    lines: List[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {value}")
+    for name, value in snapshot.get("gauges", {}).items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {value}")
+    for name, entry in snapshot.get("histograms", {}).items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for bound, count in zip(entry["bounds"], entry["counts"]):
+            cumulative += count
+            lines.append(f'{prom}_bucket{{le="{bound:g}"}} {cumulative}')
+        cumulative += entry["counts"][-1]
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{prom}_sum {entry['sum']}")
+        lines.append(f"{prom}_count {entry['count']}")
+    for name, entry in snapshot.get("spans", {}).items():
+        prom = _prom_name(f"span.{name}")
+        lines.append(f"# TYPE {prom}_total counter")
+        lines.append(f"{prom}_total {entry['count']}")
+        for field, value in entry["ops"].items():
+            lines.append(f"{prom}_ops_{_prom_name(field)} {value}")
+    return "\n".join(lines) + "\n"
+
+
+def summarize_dir(directory: str) -> Dict[str, object]:
+    """Merge every record under ``directory``'s ``*.jsonl`` files.
+
+    Files and records are folded in sorted-filename / line order, so
+    the merged snapshot is reproducible for a given directory state.
+    Invalid records raise ``ValueError`` naming the file.
+    """
+    snapshots: List[Optional[Dict[str, Any]]] = []
+    runs = 0
+    names = sorted(
+        entry for entry in os.listdir(directory) if entry.endswith(".jsonl")
+    )
+    for entry in names:
+        path = os.path.join(directory, entry)
+        for record in read_jsonl(path):
+            problems = validate_record(record)
+            if problems:
+                raise ValueError(f"{path}: {'; '.join(problems)}")
+            runs += 1
+            snapshots.append(record["telemetry"] or None)
+    merged = merge_run_snapshots(snapshots)
+    return {
+        "schema": TELEMETRY_SCHEMA_VERSION,
+        "kind": "summary",
+        "runs": runs,
+        "files": len(names),
+        "telemetry": merged,
+    }
+
+
+class TelemetryCollector:
+    """Accumulates run results for cross-run aggregation and export.
+
+    One collector per experiment invocation: the parallel runner (or
+    the API facade) feeds it every finished run's results in request
+    order, and it can then produce the merged snapshot or append the
+    per-run records to a JSONL file.  Runs without a telemetry
+    snapshot — notably **cache hits**, whose results round-trip
+    through the JSON run cache which does not persist telemetry — are
+    counted separately and excluded from the merge.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, Any]] = []
+        self.skipped = 0
+
+    def add(self, results: Any) -> None:
+        """Fold one finished run in (in completion-merge order)."""
+        if getattr(results, "telemetry", None) is None:
+            self.skipped += 1
+            return
+        self.records.append(run_record(results))
+
+    def merged(self) -> Dict[str, object]:
+        """Merged snapshot over every collected run."""
+        return merge_run_snapshots(
+            [record["telemetry"] for record in self.records]
+        )
+
+    def write_jsonl(self, path: str) -> int:
+        """Append every collected run record to ``path``."""
+        return write_jsonl(path, self.records)

@@ -1,0 +1,226 @@
+"""Run-scoped metrics: counters, gauges, and histograms.
+
+The registry is the accumulation half of the telemetry subsystem: one
+:class:`MetricsRegistry` per simulation run, filled by the engine (and
+anything holding the run's :class:`~repro.telemetry.RunTelemetry`),
+snapshotted into plain JSON-able dicts at run end, and merged across
+runs — including runs that executed in different worker processes —
+with deterministic semantics:
+
+* **counters** add.  Integer counters merge exactly; float counters
+  (energy totals) are folded in run order, so the merged value is
+  bit-identical however the runs were *executed* (``workers=1`` and
+  ``workers=N`` fold the same snapshots in the same request order).
+* **gauges** take the maximum.  A gauge is a per-run level (horizon,
+  node count); the max is associative and order-independent.
+* **histograms** add bucket-wise.  Bucket bounds are part of the
+  snapshot and must match between merge operands.
+
+Everything here is deterministic by construction: no wall clock, no
+randomness, no iteration over unordered containers in snapshots
+(output dicts are key-sorted).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+#: Version of the snapshot layout (and of the JSONL records built from
+#: it in :mod:`repro.telemetry.export`).  Bump on breaking changes.
+TELEMETRY_SCHEMA_VERSION = 1
+
+#: Default histogram bucket upper bounds, in simulation seconds —
+#: chosen for the delay-like quantities the paper reports (minutes to
+#: a couple of hours).  The implicit final bucket is +inf.
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    60.0, 300.0, 600.0, 1200.0, 1800.0, 3600.0, 7200.0,
+)
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing metric (int or float)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Number = 0) -> None:
+        self.value = value
+
+    def inc(self, amount: Number = 1) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time level; merges by maximum."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = value
+
+    def set(self, value: float) -> None:
+        """Replace the current level."""
+        self.value = value
+
+
+class Histogram:
+    """A fixed-bucket histogram (cumulative-style bounds).
+
+    ``bounds`` are the upper edges of the finite buckets; one extra
+    overflow bucket catches everything above the last bound.  Fixed
+    bounds are what makes cross-worker merging exact: histograms with
+    identical bounds add bucket-wise.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_TIME_BUCKETS) -> None:
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram bounds must be sorted, got {bounds!r}")
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.sum += value
+        self.count += 1
+
+
+class MetricsRegistry:
+    """A named bundle of counters, gauges, and histograms for one run."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- accessors (create on first use) -------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created at zero if new)."""
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter()
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created at zero if new)."""
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge()
+        return metric
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_TIME_BUCKETS
+    ) -> Histogram:
+        """The histogram called ``name`` (created with ``bounds`` if new)."""
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(bounds)
+        return metric
+
+    # -- one-shot conveniences ------------------------------------------
+
+    def inc(self, name: str, amount: Number = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value``."""
+        self.gauge(name).set(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        bounds: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> None:
+        """Record ``value`` into histogram ``name``."""
+        self.histogram(name, bounds).observe(value)
+
+    # -- snapshots -------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain, JSON-able, key-sorted form of every metric."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value
+                for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "sum": h.sum,
+                    "count": h.count,
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+
+def _merge_histogram(into: Dict[str, Any], entry: Dict[str, Any]) -> None:
+    if into["bounds"] != entry["bounds"]:
+        raise ValueError(
+            f"cannot merge histograms with different bounds: "
+            f"{into['bounds']!r} vs {entry['bounds']!r}"
+        )
+    into["counts"] = [a + b for a, b in zip(into["counts"], entry["counts"])]
+    into["sum"] += entry["sum"]
+    into["count"] += entry["count"]
+
+
+def merge_metric_snapshots(
+    snapshots: Iterable[Optional[Dict[str, Any]]],
+) -> Dict[str, Any]:
+    """Fold registry snapshots into one, in iteration order.
+
+    ``None`` entries (runs without telemetry, e.g. cache hits) are
+    skipped.  Counters add, gauges max, histograms add bucket-wise —
+    see the module docstring for why this makes the merged totals
+    independent of *where* each run executed.
+    """
+    counters: Dict[str, Number] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, Dict[str, Any]] = {}
+    for snapshot in snapshots:
+        if snapshot is None:
+            continue
+        for name, value in snapshot.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in snapshot.get("gauges", {}).items():
+            gauges[name] = max(gauges.get(name, value), value)
+        for name, entry in snapshot.get("histograms", {}).items():
+            existing = histograms.get(name)
+            if existing is None:
+                histograms[name] = {
+                    "bounds": list(entry["bounds"]),
+                    "counts": list(entry["counts"]),
+                    "sum": entry["sum"],
+                    "count": entry["count"],
+                }
+            else:
+                _merge_histogram(existing, entry)
+    return {
+        "counters": {name: counters[name] for name in sorted(counters)},
+        "gauges": {name: gauges[name] for name in sorted(gauges)},
+        "histograms": {
+            name: histograms[name] for name in sorted(histograms)
+        },
+    }

@@ -1,0 +1,128 @@
+"""Per-run telemetry bundle: one registry + one span recorder.
+
+The engine creates a :class:`RunTelemetry` for every run (it lives on
+the :class:`~repro.protocols.base.SimulationContext`), the protocol's
+phase instrumentation records spans into it, and the engine folds the
+run's totals into the registry at run end via :meth:`finalize_run`.
+
+Metric namespaces (see docs/observability.md for the full catalogue):
+
+* ``run.*``    — headline result-derived counts (generated, delivered,
+  detections, ...).  Redundant with ``SimulationResults`` by design:
+  they make merged multi-run exports self-describing.
+* ``ops.*``    — the per-run delta of :data:`repro.perf.COUNTERS`
+  (the readings the parallel fan-out used to silently discard).
+* ``engine.*`` — event-loop dispatch counts by event kind.
+* ``events.*`` — ``EventLog`` entry counts by type, only when
+  ``config.track_events`` enabled the log.
+
+Everything recorded here is derived from deterministic run state, so
+run snapshots — and therefore merged totals — are independent of which
+worker process executed the run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+from .registry import MetricsRegistry
+from .spans import SpanRecorder
+
+#: Result fields folded into ``run.*`` counters, in export order.
+_RESULT_COUNTERS = (
+    "heavy_hmac_runs",
+    "relay_attempts",
+    "test_phases",
+    "buffer_evictions",
+    "session_refusals",
+)
+
+
+class RunTelemetry:
+    """Telemetry state for exactly one simulation run."""
+
+    __slots__ = ("registry", "spans")
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self.spans = SpanRecorder()
+
+    def finalize_run(
+        self,
+        ops_diff: Mapping[str, int],
+        engine_counts: Mapping[str, int],
+        results: Any,
+    ) -> None:
+        """Fold the run's totals into the registry (engine calls this).
+
+        Args:
+            ops_diff: per-run ``COUNTERS.diff(before)`` reading.
+            engine_counts: event-loop dispatch counts by kind name.
+            results: the run's ``SimulationResults``.
+        """
+        registry = self.registry
+        for name, value in ops_diff.items():
+            registry.inc(f"ops.{name}", value)
+        for name in sorted(engine_counts):
+            registry.inc(f"engine.{name}", engine_counts[name])
+        registry.inc("run.count")
+        registry.inc("run.generated", results.generated)
+        registry.inc("run.delivered", results.delivered)
+        registry.inc("run.detections", len(results.detections))
+        registry.inc("run.evictions", len(results.evicted_at))
+        for name in _RESULT_COUNTERS:
+            registry.inc(f"run.{name}", getattr(results, name))
+        registry.inc("run.energy_joules", results.total_energy)
+        registry.set_gauge("run.nodes", float(len(results.energy) or 0))
+        for delay in results.delays():
+            registry.observe("run.delivery_delay_seconds", delay)
+        events = results.events
+        if events is not None and getattr(events, "enabled", False):
+            for name, count in events.type_counts().items():
+                registry.inc(f"events.{name}", count)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-able snapshot: registry metrics + span aggregates."""
+        snapshot = self.registry.snapshot()
+        snapshot["spans"] = self.spans.snapshot()
+        return snapshot
+
+
+def merge_run_snapshots(
+    snapshots: List[Optional[Dict[str, Any]]],
+) -> Dict[str, Any]:
+    """Merge :meth:`RunTelemetry.snapshot` dicts, spans included.
+
+    Span aggregates merge like their fields suggest: counts and op
+    totals add, ``first_time`` takes the min, ``last_time`` the max.
+    """
+    from .registry import merge_metric_snapshots
+
+    merged = merge_metric_snapshots(snapshots)
+    spans: Dict[str, Dict[str, Any]] = {}
+    for snapshot in snapshots:
+        if snapshot is None:
+            continue
+        for name, entry in snapshot.get("spans", {}).items():
+            existing = spans.get(name)
+            if existing is None:
+                spans[name] = {
+                    "count": entry["count"],
+                    "ops": dict(entry["ops"]),
+                    "first_time": entry["first_time"],
+                    "last_time": entry["last_time"],
+                }
+            else:
+                existing["count"] += entry["count"]
+                for field, value in entry["ops"].items():
+                    existing["ops"][field] = (
+                        existing["ops"].get(field, 0) + value
+                    )
+                existing["first_time"] = min(
+                    existing["first_time"], entry["first_time"]
+                )
+                existing["last_time"] = max(
+                    existing["last_time"], entry["last_time"]
+                )
+    merged["spans"] = {name: spans[name] for name in sorted(spans)}
+    return merged

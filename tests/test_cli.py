@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.telemetry import read_jsonl, validate_record
 
 
 class TestParser:
@@ -25,6 +28,25 @@ class TestParser:
     def test_bad_protocol(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--protocol", "prophet"])
+
+    def test_shared_flags_are_uniform(self):
+        """--trace/--protocol parse identically on every command."""
+        for command in ("simulate", "sweep", "trace", "communities"):
+            args = build_parser().parse_args(
+                [command] + (["fake"] if command == "experiment" else [])
+            )
+            assert args.trace == "infocom05"
+        for command in ("simulate", "sweep"):
+            args = build_parser().parse_args(
+                [command, "--protocol", "epidemic"]
+            )
+            assert args.protocol == "epidemic"
+        for command, extra in (("experiment", ["fig8"]), ("sweep", [])):
+            args = build_parser().parse_args(
+                [command, *extra, "--workers", "3"]
+            )
+            assert args.workers == 3
+            assert args.telemetry_dir is None
 
 
 class TestCommands:
@@ -106,6 +128,91 @@ class TestSweepCommand:
         )
         assert code == 0
         assert out.exists()
+
+
+class TestTelemetryCLI:
+    def test_simulate_json_emits_valid_record(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--trace", "infocom05",
+                "--protocol", "epidemic",
+                "--seed", "1",
+                "--json",
+            ]
+        )
+        assert code == 0
+        record = json.loads(capsys.readouterr().out)
+        assert validate_record(record) == []
+        assert record["protocol"] == "epidemic"
+        assert record["seed"] == 1
+
+    def test_simulate_telemetry_dir_then_summarize(self, capsys, tmp_path):
+        code = main(
+            [
+                "simulate",
+                "--trace", "infocom05",
+                "--protocol", "epidemic",
+                "--seed", "1",
+                "--telemetry-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        records = read_jsonl(str(tmp_path / "runs.jsonl"))
+        assert len(records) == 1
+        assert validate_record(records[0]) == []
+
+        assert main(["telemetry", "validate", str(tmp_path)]) == 0
+        assert "1 records valid" in capsys.readouterr().out
+
+        assert main(["telemetry", "summarize", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry summary: 1 runs" in out
+        assert "# TYPE run_count counter" in out
+
+    def test_telemetry_summarize_json(self, capsys, tmp_path):
+        main(
+            [
+                "simulate",
+                "--trace", "infocom05",
+                "--protocol", "epidemic",
+                "--seed", "1",
+                "--telemetry-dir", str(tmp_path),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["telemetry", "summarize", str(tmp_path), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["kind"] == "summary"
+        assert summary["runs"] == 1
+        assert summary["telemetry"]["counters"]["run.count"] == 1
+
+    def test_telemetry_validate_flags_bad_records(self, capsys, tmp_path):
+        (tmp_path / "bad.jsonl").write_text('{"schema": 99}\n')
+        assert main(["telemetry", "validate", str(tmp_path)]) == 1
+        assert "problems" in capsys.readouterr().out
+
+    def test_sweep_parallel_with_telemetry(self, capsys, tmp_path):
+        archive = tmp_path / "archive"
+        telemetry = tmp_path / "telemetry"
+        code = main(
+            [
+                "sweep",
+                "--trace", "infocom05",
+                "--protocol", "epidemic",
+                "--counts", "0",
+                "--seeds", "1,2",
+                "--archive", str(archive),
+                "--workers", "2",
+                "--telemetry-dir", str(telemetry),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("[ran   ]") == 2
+        records = read_jsonl(str(telemetry / "sweep.jsonl"))
+        assert len(records) == 2
+        assert all(validate_record(r) == [] for r in records)
 
 
 class TestExperimentCommand:

@@ -1,0 +1,130 @@
+"""Public-API snapshot: pins ``repro.__all__`` and the facade surface.
+
+Breaking any assertion here means a compatibility break for downstream
+users — change it deliberately, with a changelog entry, or not at all.
+"""
+
+import inspect
+
+import repro
+from repro import api
+
+#: The blessed top-level surface, exactly as exported.
+EXPECTED_ALL = [
+    "Cheater",
+    "CommunityMap",
+    "Dodger",
+    "Contact",
+    "ContactTrace",
+    "DelegationForwarding",
+    "Dropper",
+    "EpidemicForwarding",
+    "ForwardingProtocol",
+    "G2GDelegationForwarding",
+    "G2GEpidemicForwarding",
+    "GossipBlacklist",
+    "InstantBlacklist",
+    "Liar",
+    "Message",
+    "MetricsRegistry",
+    "OutsiderConditioned",
+    "ProofOfMisbehavior",
+    "RunTelemetry",
+    "Simulation",
+    "SimulationConfig",
+    "SimulationResults",
+    "Strategy",
+    "TelemetryCollector",
+    "api",
+    "cambridge06",
+    "config_for",
+    "infocom05",
+    "load_trace",
+    "make_strategy",
+    "run_simulation",
+    "standard_window",
+    "strategy_population",
+    "trace_by_name",
+    "__version__",
+]
+
+
+class TestTopLevelSurface:
+    def test_all_is_pinned(self):
+        assert repro.__all__ == EXPECTED_ALL
+
+    def test_every_name_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_version_string(self):
+        major = int(repro.__version__.split(".")[0])
+        assert major >= 1
+
+
+class TestFacadeSurface:
+    def test_api_all_is_pinned(self):
+        assert api.__all__ == ["TelemetrySink", "run", "sweep"]
+
+    def test_run_signature(self):
+        params = inspect.signature(api.run).parameters
+        assert list(params) == [
+            "trace",
+            "protocol",
+            "config",
+            "seed",
+            "adversary",
+            "adversary_count",
+            "strategies",
+            "community",
+            "blacklist",
+            "telemetry",
+        ]
+        # Everything after config is keyword-only: the facade can grow
+        # without positional-argument breakage.
+        for name in list(params)[3:]:
+            assert params[name].kind is inspect.Parameter.KEYWORD_ONLY, name
+
+    def test_sweep_signature(self):
+        params = inspect.signature(api.sweep).parameters
+        assert list(params) == [
+            "trace",
+            "protocol",
+            "counts",
+            "adversary",
+            "seeds",
+            "config_overrides",
+            "workers",
+            "cache_dir",
+            "report",
+            "telemetry",
+        ]
+        for name in list(params)[3:]:
+            assert params[name].kind is inspect.Parameter.KEYWORD_ONLY, name
+        assert params["seeds"].default == (1, 2, 3)
+        assert params["workers"].default == 1
+
+    def test_run_defaults_are_benign(self):
+        params = inspect.signature(api.run).parameters
+        assert params["config"].default is None
+        assert params["adversary_count"].default == 0
+        assert params["telemetry"].default is None
+
+
+class TestLegacyEntryPoints:
+    """The wrapped paths stay public and importable (supported aliases)."""
+
+    def test_simulation_layer(self):
+        assert callable(repro.Simulation)
+        assert callable(repro.run_simulation)
+
+    def test_experiment_layer(self):
+        from repro.experiments import run_point, run_series
+
+        assert callable(run_point)
+        assert callable(run_series)
+
+    def test_facade_reachable_from_package(self):
+        assert repro.api is api
+        assert callable(repro.api.run)
+        assert callable(repro.api.sweep)

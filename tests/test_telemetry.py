@@ -1,0 +1,253 @@
+"""Tests for the run telemetry subsystem (registry, spans, exporters)."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_TIME_BUCKETS,
+    TELEMETRY_SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RunTelemetry,
+    SpanRecorder,
+    TelemetryCollector,
+    merge_metric_snapshots,
+    merge_run_snapshots,
+    read_jsonl,
+    record_line,
+    run_record,
+    summarize_dir,
+    to_prometheus,
+    validate_record,
+    write_jsonl,
+)
+
+
+class TestMetrics:
+    def test_counter_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_gauge_set(self):
+        gauge = Gauge()
+        gauge.set(3.5)
+        assert gauge.value == 3.5
+
+    def test_histogram_buckets(self):
+        hist = Histogram(bounds=(10.0, 20.0))
+        for value in (5.0, 15.0, 15.0, 99.0):
+            hist.observe(value)
+        assert hist.counts == [1, 2, 1]
+        assert hist.count == 4
+        assert hist.sum == 134.0
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(20.0, 10.0))
+
+    def test_registry_snapshot_key_sorted(self):
+        registry = MetricsRegistry()
+        registry.inc("z.last", 2)
+        registry.inc("a.first")
+        registry.set_gauge("m.mid", 7.0)
+        registry.observe("d.delay", 42.0)
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == ["a.first", "z.last"]
+        assert snap["gauges"] == {"m.mid": 7.0}
+        hist = snap["histograms"]["d.delay"]
+        assert hist["bounds"] == list(DEFAULT_TIME_BUCKETS)
+        assert hist["count"] == 1
+        # Snapshots must be plain JSON-able data.
+        json.dumps(snap)
+
+
+class TestMerge:
+    def _snap(self, **counters):
+        registry = MetricsRegistry()
+        for name, value in counters.items():
+            registry.inc(name, value)
+        return registry.snapshot()
+
+    def test_counters_add_gauges_max(self):
+        a = MetricsRegistry()
+        a.inc("runs", 1)
+        a.set_gauge("nodes", 41.0)
+        b = MetricsRegistry()
+        b.inc("runs", 2)
+        b.set_gauge("nodes", 36.0)
+        merged = merge_metric_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["counters"]["runs"] == 3
+        assert merged["gauges"]["nodes"] == 41.0
+
+    def test_none_entries_skipped(self):
+        merged = merge_metric_snapshots([None, self._snap(x=5), None])
+        assert merged["counters"] == {"x": 5}
+
+    def test_histograms_add_bucketwise(self):
+        a = MetricsRegistry()
+        a.observe("delay", 30.0, bounds=(60.0, 120.0))
+        b = MetricsRegistry()
+        b.observe("delay", 90.0, bounds=(60.0, 120.0))
+        b.observe("delay", 500.0, bounds=(60.0, 120.0))
+        merged = merge_metric_snapshots([a.snapshot(), b.snapshot()])
+        hist = merged["histograms"]["delay"]
+        assert hist["counts"] == [1, 1, 1]
+        assert hist["count"] == 3
+
+    def test_histogram_bound_mismatch_raises(self):
+        a = MetricsRegistry()
+        a.observe("delay", 1.0, bounds=(60.0,))
+        b = MetricsRegistry()
+        b.observe("delay", 1.0, bounds=(30.0,))
+        with pytest.raises(ValueError):
+            merge_metric_snapshots([a.snapshot(), b.snapshot()])
+
+    def test_merge_is_associative_over_partitions(self):
+        parts = [self._snap(x=i, y=2 * i) for i in range(1, 6)]
+        whole = merge_metric_snapshots(parts)
+        left = merge_metric_snapshots(
+            [merge_metric_snapshots(parts[:2]),
+             merge_metric_snapshots(parts[2:])]
+        )
+        assert whole == left
+
+    def test_span_merge_folds_times_and_ops(self):
+        a = {
+            "counters": {}, "gauges": {}, "histograms": {},
+            "spans": {
+                "relay_handshake": {
+                    "count": 2, "ops": {"signatures": 4},
+                    "first_time": 10.0, "last_time": 50.0,
+                }
+            },
+        }
+        b = {
+            "counters": {}, "gauges": {}, "histograms": {},
+            "spans": {
+                "relay_handshake": {
+                    "count": 1, "ops": {"signatures": 3},
+                    "first_time": 5.0, "last_time": 20.0,
+                }
+            },
+        }
+        merged = merge_run_snapshots([a, b])
+        span = merged["spans"]["relay_handshake"]
+        assert span["count"] == 3
+        assert span["ops"]["signatures"] == 7
+        assert span["first_time"] == 5.0
+        assert span["last_time"] == 50.0
+
+
+class TestSpanRecorder:
+    def test_begin_end_records_aggregate(self):
+        recorder = SpanRecorder()
+        token = recorder.begin(100.0)
+        recorder.end("sender_test", token, 100.0)
+        token = recorder.begin(250.0)
+        recorder.end("sender_test", token, 250.0)
+        snap = recorder.snapshot()
+        span = snap["sender_test"]
+        assert span["count"] == 2
+        assert span["first_time"] == 100.0
+        assert span["last_time"] == 250.0
+
+
+class _FakeResults:
+    """Minimal stand-in for SimulationResults in exporter tests."""
+
+    def __init__(self, telemetry):
+        self.protocol = "g2g_epidemic"
+        self.trace = "infocom05"
+        self.seed = 1
+        self.telemetry = telemetry
+
+    def summary(self):
+        return {"success_rate": 0.5}
+
+
+def _run_snapshot(runs=1):
+    telemetry = RunTelemetry()
+    telemetry.registry.inc("run.count", runs)
+    return telemetry.snapshot()
+
+
+class TestExport:
+    def test_record_roundtrip_and_validation(self, tmp_path):
+        record = run_record(_FakeResults(_run_snapshot()))
+        assert validate_record(record) == []
+        path = str(tmp_path / "runs.jsonl")
+        assert write_jsonl(path, [record, record]) == 2
+        back = read_jsonl(path)
+        assert back == [record, record]
+        # Canonical line encoding is byte-stable.
+        assert record_line(back[0]) == record_line(record)
+
+    def test_validate_flags_problems(self):
+        assert validate_record([]) != []
+        bad = run_record(_FakeResults(_run_snapshot()))
+        bad["schema"] = 99
+        bad["seed"] = "one"
+        problems = validate_record(bad)
+        assert any("schema" in p for p in problems)
+        assert any("seed" in p for p in problems)
+
+    def test_summarize_dir_merges(self, tmp_path):
+        write_jsonl(
+            str(tmp_path / "a.jsonl"),
+            [run_record(_FakeResults(_run_snapshot()))],
+        )
+        write_jsonl(
+            str(tmp_path / "b.jsonl"),
+            [run_record(_FakeResults(_run_snapshot(runs=2)))],
+        )
+        summary = summarize_dir(str(tmp_path))
+        assert summary["schema"] == TELEMETRY_SCHEMA_VERSION
+        assert summary["kind"] == "summary"
+        assert summary["runs"] == 2
+        assert summary["files"] == 2
+        assert summary["telemetry"]["counters"]["run.count"] == 3
+
+    def test_summarize_dir_rejects_invalid(self, tmp_path):
+        (tmp_path / "bad.jsonl").write_text('{"schema": 99}\n')
+        with pytest.raises(ValueError):
+            summarize_dir(str(tmp_path))
+
+    def test_prometheus_rendering(self):
+        registry = MetricsRegistry()
+        registry.inc("ops.signatures", 7)
+        registry.set_gauge("run.nodes", 41.0)
+        registry.observe("run.delay", 90.0, bounds=(60.0, 120.0))
+        snapshot = registry.snapshot()
+        snapshot["spans"] = {
+            "sender_test": {
+                "count": 3, "ops": {"signatures": 6},
+                "first_time": 0.0, "last_time": 1.0,
+            }
+        }
+        text = to_prometheus(snapshot)
+        assert "# TYPE ops_signatures counter" in text
+        assert "ops_signatures 7" in text
+        assert "run_nodes 41.0" in text
+        assert 'run_delay_bucket{le="+Inf"} 1' in text
+        assert "span_sender_test_total 3" in text
+        assert "span_sender_test_ops_signatures 6" in text
+
+    def test_collector_skips_runs_without_telemetry(self, tmp_path):
+        collector = TelemetryCollector()
+        collector.add(_FakeResults(_run_snapshot()))
+        collector.add(_FakeResults(None))  # e.g. a cache hit
+        assert len(collector.records) == 1
+        assert collector.skipped == 1
+        assert collector.merged()["counters"]["run.count"] == 1
+        path = str(tmp_path / "out.jsonl")
+        assert collector.write_jsonl(path) == 1
+        assert validate_record(read_jsonl(path)[0]) == []
