@@ -4,7 +4,15 @@ from .base import HONEST, OutsiderConditioned, Strategy
 from .cheaters import Cheater
 from .dodgers import Dodger
 from .droppers import Dropper
-from .factory import DEVIATIONS, make_strategy, strategy_population
+from .factory import (
+    DEVIATIONS,
+    make_strategy,
+    mix_counts,
+    mixed_population,
+    population_from_roles,
+    strategy_population,
+    validate_kind,
+)
 from .liars import Liar
 
 __all__ = [
@@ -17,5 +25,9 @@ __all__ = [
     "OutsiderConditioned",
     "Strategy",
     "make_strategy",
+    "mix_counts",
+    "mixed_population",
+    "population_from_roles",
     "strategy_population",
+    "validate_kind",
 ]

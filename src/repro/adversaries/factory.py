@@ -4,12 +4,24 @@ An experiment needs "N misbehaving nodes of kind K, everyone else
 honest".  :func:`strategy_population` draws the misbehaving subset
 reproducibly and wires up the outsider-conditioned variants with a
 community oracle when requested.
+
+Mixed populations (the scenario campaigns' bread and butter) go
+through :func:`mixed_population`: several deviation kinds at once,
+each a *fraction* of the node population, rounded by largest
+remainder and placed from a single seed-derived shuffle so that
+
+* the same seed always produces the same assignment,
+* every assigned count is within one node of ``fraction * n``,
+* no node ever carries two roles, and
+* a kind with fraction 0.0 is exactly equivalent to leaving that
+  kind out (the shuffle consumes no draws for empty slices).
 """
 
 from __future__ import annotations
 
+import math
 import random
-from typing import Callable, Dict, Sequence, Tuple
+from typing import Callable, Dict, Mapping, Sequence, Tuple
 
 from ..traces.trace import NodeId
 from .base import HONEST, OutsiderConditioned, Strategy
@@ -27,6 +39,27 @@ DEVIATIONS: Dict[str, Callable[[], Strategy]] = {
 }
 
 
+def validate_kind(kind: str) -> Tuple[str, bool]:
+    """Parse and validate a deviation-kind name.
+
+    Returns:
+        ``(base_kind, with_outsiders)``.
+
+    Raises:
+        KeyError: on unknown kinds.
+    """
+    base_kind = kind
+    with_outsiders = kind.endswith("_with_outsiders")
+    if with_outsiders:
+        base_kind = kind[: -len("_with_outsiders")]
+    if base_kind not in DEVIATIONS:
+        raise KeyError(
+            f"unknown deviation {kind!r}; expected one of "
+            f"{sorted(DEVIATIONS)} (optionally + '_with_outsiders')"
+        )
+    return base_kind, with_outsiders
+
+
 def make_strategy(kind: str, community=None) -> Strategy:
     """Instantiate a deviation strategy by name.
 
@@ -41,15 +74,7 @@ def make_strategy(kind: str, community=None) -> Strategy:
         KeyError: on unknown kinds.
         ValueError: if a with-outsiders kind lacks a community oracle.
     """
-    base_kind = kind
-    with_outsiders = kind.endswith("_with_outsiders")
-    if with_outsiders:
-        base_kind = kind[: -len("_with_outsiders")]
-    if base_kind not in DEVIATIONS:
-        raise KeyError(
-            f"unknown deviation {kind!r}; expected one of "
-            f"{sorted(DEVIATIONS)} (optionally + '_with_outsiders')"
-        )
+    base_kind, with_outsiders = validate_kind(kind)
     strategy = DEVIATIONS[base_kind]()
     if with_outsiders:
         if community is None:
@@ -58,6 +83,111 @@ def make_strategy(kind: str, community=None) -> Strategy:
             )
         strategy = OutsiderConditioned(strategy, community)
     return strategy
+
+
+def population_from_roles(
+    nodes: Sequence[NodeId],
+    roles: Mapping[NodeId, str],
+    community=None,
+) -> Dict[NodeId, Strategy]:
+    """Build a full strategy map from an explicit node -> kind map.
+
+    Nodes absent from ``roles`` share the
+    :data:`~repro.adversaries.base.HONEST` singleton.  This is the one
+    construction path every population helper funnels through, so a
+    run can carry any role structure — single-kind, mixed, hand-built.
+
+    Raises:
+        KeyError: on unknown kinds.
+        ValueError: if a role names a node outside ``nodes``, or a
+            with-outsiders kind lacks a community oracle.
+    """
+    population = set(nodes)
+    strategies: Dict[NodeId, Strategy] = {n: HONEST for n in nodes}
+    for node, kind in roles.items():
+        if node not in population:
+            raise ValueError(
+                f"role for node {node!r} which is not in the population"
+            )
+        strategies[node] = make_strategy(kind, community)
+    return strategies
+
+
+def mix_counts(n: int, mix: Mapping[str, float]) -> Dict[str, int]:
+    """Largest-remainder rounding of a fraction mix over ``n`` nodes.
+
+    Kinds with fraction 0.0 are dropped entirely; the remaining
+    quotas ``fraction * n`` are floored and the leftover units (so the
+    total matches the rounded sum of quotas) go to the largest
+    fractional remainders, ties broken by kind name.  Every count is
+    within one of its quota.
+
+    Raises:
+        KeyError: on unknown kinds.
+        ValueError: on negative fractions or a mix summing above 1.
+    """
+    total_fraction = 0.0
+    quotas: Dict[str, float] = {}
+    for kind, fraction in mix.items():
+        validate_kind(kind)
+        if fraction < 0:
+            raise ValueError(f"negative fraction for {kind!r}: {fraction}")
+        if fraction == 0.0:
+            continue
+        quotas[kind] = fraction * n
+        total_fraction += fraction
+    if total_fraction > 1.0 + 1e-9:
+        raise ValueError(
+            f"mix fractions sum to {total_fraction:.3f} > 1"
+        )
+    counts = {kind: math.floor(quota) for kind, quota in quotas.items()}
+    leftover = round(sum(quotas.values())) - sum(counts.values())
+    by_remainder = sorted(
+        quotas,
+        key=lambda kind: (-(quotas[kind] - counts[kind]), kind),
+    )
+    for kind in by_remainder[:leftover]:
+        counts[kind] += 1
+    return counts
+
+
+def mixed_population(
+    nodes: Sequence[NodeId],
+    mix: Mapping[str, float],
+    seed: int,
+    community=None,
+) -> Tuple[Dict[NodeId, Strategy], Dict[str, Tuple[NodeId, ...]]]:
+    """Build a strategy map for a mixed adversary population.
+
+    Args:
+        mix: deviation kind -> fraction of the population (0.0 entries
+            are ignored; fractions must sum to at most 1).
+        seed: master seed; the placement draws from a dedicated
+            ``"{seed}|adversaries|mix"`` stream, independent of the
+            kinds requested, so assignments are comparable across mix
+            variants at equal seeds.
+        community: oracle for the with-outsiders variants.
+
+    Returns:
+        ``(strategies, roles)`` — the full per-node map and, per kind,
+        the sorted tuple of nodes playing it.  Kinds whose fraction
+        rounded to zero nodes appear with an empty tuple; 0.0-fraction
+        kinds are absent.
+    """
+    counts = mix_counts(len(nodes), mix)
+    rng = random.Random(f"{seed}|adversaries|mix")
+    order = rng.sample(sorted(nodes), len(nodes))
+    roles: Dict[str, Tuple[NodeId, ...]] = {}
+    node_roles: Dict[NodeId, str] = {}
+    offset = 0
+    for kind in sorted(counts):
+        members = tuple(sorted(order[offset:offset + counts[kind]]))
+        offset += counts[kind]
+        roles[kind] = members
+        for node in members:
+            node_roles[node] = kind
+    strategies = population_from_roles(nodes, node_roles, community)
+    return strategies, roles
 
 
 def strategy_population(
@@ -88,7 +218,7 @@ def strategy_population(
         )
     rng = random.Random(f"{seed}|adversaries|{kind}")
     misbehaving = tuple(sorted(rng.sample(list(nodes), count)))
-    strategies: Dict[NodeId, Strategy] = {n: HONEST for n in nodes}
-    for node in misbehaving:
-        strategies[node] = make_strategy(kind, community)
+    strategies = population_from_roles(
+        nodes, {node: kind for node in misbehaving}, community
+    )
     return strategies, misbehaving

@@ -47,6 +47,7 @@ from .framework import (
 #: injected, seeded ``random.Random`` instance.
 SEEDED_RNG_PACKAGES = (
     "sim", "core", "crypto", "protocols", "traces", "adversaries",
+    "scenarios",
 )
 
 #: Packages forming the relay-loop hot path, where iteration order is

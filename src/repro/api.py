@@ -35,7 +35,7 @@ from dataclasses import replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from .adversaries.base import Strategy
-from .adversaries.factory import strategy_population
+from .adversaries.factory import mixed_population, strategy_population
 from .core.blacklist import BlacklistService
 from .experiments.cache import RunCache
 from .experiments.catalog import protocol as catalog_protocol
@@ -79,6 +79,9 @@ def run(
     seed: Optional[int] = None,
     adversary: Optional[str] = None,
     adversary_count: int = 0,
+    mix: Optional[Mapping[str, float]] = None,
+    churn: Optional[Sequence[Tuple[float, float, Optional[float]]]] = None,
+    energy_budgets: Optional[Sequence[object]] = None,
     strategies: Optional[Dict[NodeId, Strategy]] = None,
     community: Optional[CommunityOracle] = None,
     blacklist: Optional[BlacklistService] = None,
@@ -101,6 +104,14 @@ def run(
             with-outsiders variants included) planted over the node
             population; mutually exclusive with ``strategies``.
         adversary_count: how many nodes deviate.
+        mix: mixed adversary population as kind -> population
+            fraction (see :func:`repro.adversaries.mixed_population`);
+            mutually exclusive with ``adversary`` and ``strategies``.
+        churn: churn cohorts as ``(fraction, leave_time,
+            rejoin_time)`` tuples (``rejoin_time`` None = gone for
+            good), expanded deterministically per seed.
+        energy_budgets: per-node energy-budget spec —
+            ``("constant", joules)`` or ``("uniform", lo, hi)``.
         strategies: explicit per-node strategy map (advanced).
         community: community oracle; defaults to the detected one for
             named traces and to None for caller-supplied traces.
@@ -140,7 +151,19 @@ def run(
         else:
             run_config = SimulationConfig(**overrides)  # type: ignore[arg-type]
 
-    if adversary is not None and adversary_count > 0:
+    if mix is not None:
+        if strategies is not None or adversary is not None:
+            raise ValueError(
+                "pass exactly one of mix, adversary/adversary_count,"
+                " or strategies"
+            )
+        strategies, _ = mixed_population(
+            trace_obj.nodes,
+            dict(mix),
+            seed=run_config.seed,
+            community=community,
+        )
+    elif adversary is not None and adversary_count > 0:
         if strategies is not None:
             raise ValueError(
                 "pass either adversary/adversary_count or strategies, not both"
@@ -153,6 +176,21 @@ def run(
             community=community,
         )
 
+    churn_schedule = None
+    if churn:
+        from .scenarios.spec import churn_events_for
+
+        churn_schedule = churn_events_for(
+            trace_obj.nodes, list(churn), seed=run_config.seed
+        )
+    budgets = None
+    if energy_budgets:
+        from .scenarios.spec import energy_budgets_for
+
+        budgets = energy_budgets_for(
+            trace_obj.nodes, tuple(energy_budgets), seed=run_config.seed
+        )
+
     results = Simulation(
         trace_obj,
         protocol_obj,
@@ -160,6 +198,8 @@ def run(
         strategies=strategies,
         community=community,
         blacklist=blacklist,
+        churn=churn_schedule,
+        energy_budgets=budgets,
     ).run()
 
     collector, export_path = _resolve_telemetry(telemetry, "runs.jsonl")

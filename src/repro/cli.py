@@ -10,6 +10,8 @@ Commands:
 * ``trace`` — generate a synthetic evaluation trace, print its
   profile, and optionally save it in the CRAWDAD-style text format.
 * ``communities`` — run k-clique community detection on a trace.
+* ``scenarios`` — run a campaign of mixed-adversary / churn / energy
+  scenarios and emit the campaign matrix (see docs/scenarios.md).
 * ``telemetry`` — summarize or validate exported telemetry JSONL.
 * ``perf`` — time the relay-loop hot-path benchmark and write
   ``BENCH_hotpath.json``.
@@ -227,6 +229,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     communities.add_argument("--k", type=int, default=3)
     communities.add_argument("--quantile", type=float, default=0.9)
+
+    scenarios = sub.add_parser(
+        "scenarios", help="run or inspect adversary campaigns"
+    )
+    scenarios_sub = scenarios.add_subparsers(
+        dest="scenarios_action", required=True
+    )
+    scenarios_run = scenarios_sub.add_parser(
+        "run", help="execute a campaign and write its matrix",
+        parents=[_workers_parent(), _telemetry_parent()],
+    )
+    source = scenarios_run.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="campaign spec file: a JSON scenario object or a list "
+        "of them (see docs/scenarios.md)",
+    )
+    source.add_argument(
+        "--preset", default=None,
+        help="named preset campaign (see `repro scenarios run "
+        "--preset help`)",
+    )
+    scenarios_run.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the campaign matrix JSON here",
+    )
+    scenarios_run.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="per-run result cache directory (default: .repro-cache)",
+    )
+    scenarios_run.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the run cache entirely (no reads, no writes)",
+    )
+    scenarios_report = scenarios_sub.add_parser(
+        "report", help="render a previously written campaign matrix"
+    )
+    scenarios_report.add_argument("matrix", help="campaign matrix JSON file")
+    scenarios_report.add_argument(
+        "--json", action="store_true",
+        help="print the matrix document instead of the table",
+    )
     return parser
 
 
@@ -506,6 +550,75 @@ def cmd_lint(args) -> int:
     return 1 if violations else 0
 
 
+def cmd_scenarios(args) -> int:
+    from .scenarios import (
+        CAMPAIGN_JSONL,
+        PRESETS,
+        ScenarioSpec,
+        load_matrix,
+        preset,
+        render_matrix,
+        run_campaign,
+        write_matrix,
+    )
+
+    if args.scenarios_action == "report":
+        try:
+            matrix = load_matrix(args.matrix)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"error: {exc}")
+        if args.json:
+            print(json.dumps(matrix, indent=2, sort_keys=True))
+        else:
+            print(render_matrix(matrix))
+        return 0
+
+    if args.preset is not None:
+        if args.preset == "help":
+            for name in sorted(PRESETS):
+                print(name)
+            return 0
+        try:
+            specs = preset(args.preset)
+        except KeyError as exc:
+            raise SystemExit(f"error: {exc.args[0]}")
+    else:
+        try:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"error: unreadable spec {args.spec!r}: {exc}")
+        entries = data if isinstance(data, list) else [data]
+        try:
+            specs = [ScenarioSpec.from_dict(entry) for entry in entries]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SystemExit(f"error: invalid spec {args.spec!r}: {exc}")
+    options = execution_options(args)
+    total = sum(len(spec.seeds) for spec in specs)
+    print(f"campaign: {len(specs)} scenarios, {total} runs")
+    result = run_campaign(
+        specs,
+        workers=max(1, args.workers),
+        cache=options.cache,
+        telemetry_dir=args.telemetry_dir,
+        on_progress=lambda done, n, cached: print(
+            f"  [{done}/{n}] {'cached' if cached else 'ran'}"
+        ),
+    )
+    print(render_matrix(result.matrix))
+    print(f"matrix digest: {result.digest}")
+    print(f"-- {result.report.summary()}")
+    if args.out:
+        write_matrix(args.out, result.matrix)
+        print(f"wrote matrix to {args.out}")
+    if args.telemetry_dir:
+        print(
+            f"telemetry: {len(result.records)} run records -> "
+            f"{os.path.join(args.telemetry_dir, CAMPAIGN_JSONL)}"
+        )
+    return 0
+
+
 def cmd_communities(args) -> int:
     synthetic = trace_by_name(args.trace, seed=args.seed)
     cmap = CommunityMap.detect(
@@ -530,6 +643,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": cmd_trace,
         "communities": cmd_communities,
         "sweep": cmd_sweep,
+        "scenarios": cmd_scenarios,
         "telemetry": cmd_telemetry,
         "perf": cmd_perf,
         "lint": cmd_lint,

@@ -175,6 +175,11 @@ class Give2GetBase(ForwardingProtocol):
         self._sig_cost = energy.signature
         self._ver_cost = energy.verification
         self._bounded_buffers = config.buffer_capacity is not None
+        # Scenario runs only: with per-node budgets configured, every
+        # exchange is followed by a depletion check.  False (the
+        # paper's unbounded-battery setting) keeps the hot path free
+        # of budget lookups.
+        self._budgeted = bool(ctx.energy_budgets)
         # (transfer, receive) joules per on-air size; message sizes are
         # per-run constants so this dict stays tiny.
         self._xfer_costs: Dict[int, Tuple[float, float]] = {}
@@ -192,6 +197,8 @@ class Give2GetBase(ForwardingProtocol):
         self._wire_bytes[message.msg_id] = wire
         self._hash[message.msg_id] = sealed.content_hash()
         self._charge_signature(message.source)
+        if self._budgeted:
+            self.ctx.check_energy(message.source, now)
         self._sources[message.source][message.msg_id] = _SourceRecord(
             message=message
         )
@@ -235,10 +242,10 @@ class Give2GetBase(ForwardingProtocol):
         # Test phases first: a pending test settles accounts before new
         # relays open between the same two nodes.
         self._run_tests(node_a, node_b, now)
-        if not node_b.evicted:
+        if node_a.participating and node_b.participating:
             self._run_tests(node_b, node_a, now)
         for giver, taker in ((node_a, node_b), (node_b, node_a)):
-            if giver.evicted or taker.evicted:
+            if not (giver.participating and taker.participating):
                 continue
             self._offer(giver, taker, now)
 
@@ -363,9 +370,13 @@ class Give2GetBase(ForwardingProtocol):
             )
             if len(copy.relays) >= cap:
                 continue
-            if taker.evicted:
+            if not (giver.participating and taker.participating):
                 break
             self._relay_one(giver, taker, copy, now)
+            if self._budgeted:
+                ctx = self.ctx
+                ctx.check_energy(giver_id, now)
+                ctx.check_energy(taker.node_id, now)
 
     def _fanout_cap(self, giver: NodeState, copy: StoredCopy) -> float:
         """Relay cap for this holder: give-2 for relays, wider for the
@@ -538,7 +549,7 @@ class Give2GetBase(ForwardingProtocol):
         their giver was the source, so they must always be ready, but
         nobody else spends energy checking — the paper's key asymmetry).
         """
-        if source.evicted or peer.evicted:
+        if not (source.participating and peer.participating):
             return
         records = self._sources[source.node_id]
         if not records:
@@ -562,7 +573,12 @@ class Give2GetBase(ForwardingProtocol):
             test_span = spans.begin(now)
             self._test_one(source, peer, record, now)
             spans.end(SPAN_SENDER_TEST, test_span, now)
-            if peer.evicted:
+            if self._budgeted:
+                self.ctx.check_energy(source.node_id, now)
+                self.ctx.check_energy(peer_id, now)
+                if not source.participating:
+                    return
+            if not peer.participating:
                 return
 
     def _test_one(

@@ -33,7 +33,7 @@ import os
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Union
+from typing import Any, Mapping, Optional, Union
 
 from ..sim.config import SimulationConfig
 from ..sim.results import SimulationResults
@@ -62,12 +62,18 @@ def run_key(
     deviation_count: int,
     seed: int,
     config: SimulationConfig,
+    scenario: Optional[Mapping[str, Any]] = None,
 ) -> str:
     """Stable content hash identifying one simulation run.
 
     The hash is a SHA-256 over the canonical JSON of every run input;
     it is stable across processes and hosts (no reliance on Python's
     randomized ``hash()``).
+
+    ``scenario`` carries the extra inputs of scenario runs (adversary
+    mix, churn schedule, energy-budget spec).  It is folded into the
+    payload only when present, so every pre-scenario key — and every
+    entry written under one — stays valid.
     """
     payload = {
         "cache_version": CACHE_VERSION,
@@ -80,6 +86,8 @@ def run_key(
         "seed": seed,
         "config": dataclasses.asdict(config),
     }
+    if scenario:
+        payload["scenario"] = dict(scenario)
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 

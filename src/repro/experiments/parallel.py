@@ -21,9 +21,9 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..adversaries.factory import strategy_population
+from ..adversaries.factory import mixed_population, strategy_population
 from ..sim.config import SimulationConfig, config_for
 from ..sim.engine import Simulation
 from ..sim.results import SimulationResults
@@ -50,6 +50,15 @@ class RunRequest:
         overrides: sorted ``(field, value)`` pairs of
             :class:`~repro.sim.config.SimulationConfig` overrides,
             kept as a tuple so requests stay hashable and picklable.
+        mix: adversary-mix fractions as sorted ``(kind, fraction)``
+            pairs (scenario runs); mutually exclusive with
+            ``deviation``.  The worker expands it into a mixed
+            population with :func:`repro.adversaries.mixed_population`.
+        churn: churn cohorts as ``(fraction, leave_time, rejoin_time)``
+            tuples (``rejoin_time`` None for permanent departures);
+            expanded into node-level join/leave timers by the worker.
+        energy_budget: energy-budget spec, ``()`` for unbounded,
+            ``("constant", joules)`` or ``("uniform", lo, hi)``.
     """
 
     trace_name: str
@@ -59,6 +68,9 @@ class RunRequest:
     deviation: Optional[str] = None
     deviation_count: int = 0
     overrides: Tuple[Tuple[str, object], ...] = ()
+    mix: Tuple[Tuple[str, float], ...] = ()
+    churn: Tuple[Tuple[float, float, Optional[float]], ...] = ()
+    energy_budget: Tuple[Any, ...] = ()
 
     def config(self) -> SimulationConfig:
         """The run's full simulation configuration."""
@@ -68,6 +80,20 @@ class RunRequest:
             seed=self.seed,
             **dict(self.overrides),
         )
+
+    def scenario_extras(self) -> Optional[Mapping[str, Any]]:
+        """Scenario inputs for the cache key, None for plain runs.
+
+        Plain (pre-scenario) requests return None so their cache keys
+        — and any entries archived under them — are unchanged.
+        """
+        if not (self.mix or self.churn or self.energy_budget):
+            return None
+        return {
+            "mix": [list(pair) for pair in self.mix],
+            "churn": [list(cohort) for cohort in self.churn],
+            "energy_budget": list(self.energy_budget),
+        }
 
     def cache_key(self) -> Optional[str]:
         """Content hash for the run cache (None for ad-hoc factories)."""
@@ -81,10 +107,34 @@ class RunRequest:
             deviation_count=self.deviation_count,
             seed=self.seed,
             config=self.config(),
+            scenario=self.scenario_extras(),
         )
+
+    def roles(self) -> Dict[str, Tuple[int, ...]]:
+        """Adversary class -> member nodes, recomputed deterministically.
+
+        Mix requests replay the placement shuffle of
+        :func:`repro.adversaries.mixed_population`; single-deviation
+        requests report their ``misbehaving()`` set under the deviation
+        kind.  All-honest runs return an empty map.
+        """
+        if self.mix:
+            trace = evaluation_trace(self.trace_name)
+            _, roles = mixed_population(
+                trace.nodes, dict(self.mix), seed=self.seed
+            )
+            return roles
+        if self.deviation is not None and self.deviation_count > 0:
+            return {self.deviation: self.misbehaving()}
+        return {}
 
     def misbehaving(self) -> Tuple[int, ...]:
         """The deterministic set of deviating nodes for this run."""
+        if self.mix:
+            members: List[int] = []
+            for nodes in self.roles().values():
+                members.extend(nodes)
+            return tuple(sorted(members))
         if self.deviation is None or self.deviation_count <= 0:
             return ()
         trace = evaluation_trace(self.trace_name)
@@ -123,11 +173,23 @@ def execute_request(
                 "ad-hoc RunRequest needs an explicit protocol factory"
             )
         _, factory = protocol(request.protocol_name)
+    if request.mix and request.deviation is not None:
+        raise ValueError(
+            "a RunRequest carries either a single deviation or a mix,"
+            " not both"
+        )
     trace = evaluation_trace(request.trace_name)
     community = evaluation_community(request.trace_name)
     config = request.config()
     strategies = None
-    if request.deviation is not None and request.deviation_count > 0:
+    if request.mix:
+        strategies, _ = mixed_population(
+            trace.nodes,
+            dict(request.mix),
+            seed=request.seed,
+            community=community,
+        )
+    elif request.deviation is not None and request.deviation_count > 0:
         strategies, _ = strategy_population(
             trace.nodes,
             request.deviation,
@@ -135,12 +197,30 @@ def execute_request(
             seed=request.seed,
             community=community,
         )
+    churn = None
+    energy_budgets = None
+    if request.churn or request.energy_budget:
+        # Lazy import: repro.scenarios imports this module for
+        # RunRequest/run_requests, so the expansion helpers must load
+        # only when a scenario request actually executes.
+        from ..scenarios.spec import churn_events_for, energy_budgets_for
+
+        if request.churn:
+            churn = churn_events_for(
+                trace.nodes, request.churn, seed=request.seed
+            )
+        if request.energy_budget:
+            energy_budgets = energy_budgets_for(
+                trace.nodes, request.energy_budget, seed=request.seed
+            )
     return Simulation(
         trace,
         factory(),
         config,
         strategies=strategies,
         community=community,
+        churn=churn,
+        energy_budgets=energy_budgets,
     ).run()
 
 

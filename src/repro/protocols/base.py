@@ -60,6 +60,11 @@ class SimulationContext:
         telemetry: the run's metrics registry + span recorder; the
             engine folds run totals into it at run end and attaches
             its snapshot to ``results.telemetry``.
+        energy_budgets: optional per-node energy budgets (joules);
+            empty for the paper's unbounded-battery setting.  A node
+            whose cumulative spend reaches its budget is marked
+            ``depleted`` at the next :meth:`check_energy` and stops
+            participating (see docs/scenarios.md).
     """
 
     config: SimulationConfig
@@ -72,6 +77,7 @@ class SimulationContext:
     events: EventLog = field(default_factory=lambda: EventLog(enabled=False))
     scheduler: Optional[Scheduler] = None
     telemetry: RunTelemetry = field(default_factory=RunTelemetry)
+    energy_budgets: Dict[NodeId, float] = field(default_factory=dict)
 
     def node(self, node_id: NodeId) -> NodeState:
         """Runtime state of ``node_id``."""
@@ -119,25 +125,48 @@ class SimulationContext:
             self.scheduler.dispatch_until(now)
 
     def active_neighbors(self, node_id: NodeId) -> Iterable[NodeId]:
-        """Peers currently in contact with ``node_id`` (unevicted)."""
+        """Peers currently in contact with ``node_id`` (participating)."""
         for pair in self.active_contacts:
             if node_id in pair:
                 (peer,) = pair - {node_id}
-                if not self.nodes[peer].evicted:
+                if self.nodes[peer].participating:
                     yield peer
 
     def usable_pair(self, a: NodeId, b: NodeId) -> bool:
         """True when a session between ``a`` and ``b`` can open.
 
-        Evicted nodes cannot open sessions at all; otherwise each
-        endpoint refuses if it knows the peer is convicted.
+        Evicted, churned-out, and energy-depleted nodes cannot open
+        sessions at all; otherwise each endpoint refuses if it knows
+        the peer is convicted.
         """
         node_a, node_b = self.nodes[a], self.nodes[b]
-        if node_a.evicted or node_b.evicted:
+        if not (node_a.participating and node_b.participating):
             return False
         return not (
             self.blacklist.knows(a, b) or self.blacklist.knows(b, a)
         )
+
+    def check_energy(self, node_id: NodeId, now: float) -> None:
+        """Deplete ``node_id`` if its spend reached its budget.
+
+        A no-op without budgets (the paper's setting) and for nodes
+        without one.  Depletion is checked *between* protocol
+        exchanges, never inside one: the handshake that crosses the
+        budget still completes — a device does not brown out halfway
+        through signing — and the node goes dark afterwards.  The
+        buffer is deliberately kept (storage outlives the radio), so
+        memory keeps accruing while participation stops.
+        """
+        budget = self.energy_budgets.get(node_id)
+        if budget is None:
+            return
+        node = self.nodes[node_id]
+        if node.depleted:
+            return
+        if self.results.energy.get(node_id, 0.0) >= budget:
+            node.depleted = True
+            self.telemetry.registry.inc("run.energy_depletions")
+            self.events.log(now, EventType.DEPLETED, actor=node_id)
 
     def evict(self, offender: NodeId, now: float) -> None:
         """Remove a convicted node from the network.

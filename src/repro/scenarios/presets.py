@@ -1,0 +1,116 @@
+"""Named campaign presets for the CLI and CI smoke jobs.
+
+Presets are plain spec constructors, not magic: ``repro scenarios run
+--preset mixed-churn`` is exactly ``--spec`` with the JSON below
+written out.  Every preset shortens the run (30 min of trace, fast
+heavy-HMAC) so a full campaign stays in CI-smoke territory; paper-scale
+studies should write their own spec files (see docs/scenarios.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .spec import ScenarioSpec
+
+#: Shortened-run overrides shared by the presets (mirrors the QUICK
+#: profile of the determinism tests: 30 min window, 10 min silent
+#: tail, 10 min TTL, cheap storage proofs).
+SMOKE_OVERRIDES: Tuple[Tuple[str, object], ...] = (
+    ("heavy_hmac_iterations", 4),
+    ("mean_interarrival", 60.0),
+    ("run_length", 1800.0),
+    ("silent_tail", 600.0),
+    ("ttl", 600.0),
+)
+
+
+def _smoke() -> List[ScenarioSpec]:
+    """Minimal mixed+churn campaign: one scenario, one seed."""
+    return [
+        ScenarioSpec(
+            name="smoke",
+            trace="cambridge06",
+            protocol="g2g_epidemic",
+            mix=(("dropper", 0.2),),
+            churn=((0.1, 600.0, 1200.0),),
+            energy_budget=("uniform", 50.0, 200.0),
+            seeds=(1,),
+            overrides=SMOKE_OVERRIDES,
+        )
+    ]
+
+
+def _mixed_churn() -> List[ScenarioSpec]:
+    """The headline campaign: heavy mixed population plus churn.
+
+    40% droppers, 20% liars, 10% cheaters (30% honest) on
+    cambridge06, with a tenth of the population leaving mid-run and
+    returning, and another twentieth leaving for good — the acceptance
+    scenario of the campaign subsystem.  A no-adversary control with
+    the same churn rides along for comparison.
+    """
+    churn = ((0.1, 600.0, 1200.0), (0.05, 900.0, None))
+    return [
+        ScenarioSpec(
+            name="mixed-churn",
+            trace="cambridge06",
+            protocol="g2g_epidemic",
+            mix=(("cheater", 0.1), ("dropper", 0.4), ("liar", 0.2)),
+            churn=churn,
+            seeds=(1, 2),
+            overrides=SMOKE_OVERRIDES,
+        ),
+        ScenarioSpec(
+            name="honest-churn",
+            trace="cambridge06",
+            protocol="g2g_epidemic",
+            churn=churn,
+            seeds=(1, 2),
+            overrides=SMOKE_OVERRIDES,
+        ),
+    ]
+
+
+def _energy() -> List[ScenarioSpec]:
+    """Energy-heterogeneity sweep: same mix, shrinking budgets."""
+    mix = (("dropper", 0.2),)
+    specs = []
+    for label, budget in (
+        ("energy-unbounded", ()),
+        ("energy-rich", ("constant", 500.0)),
+        ("energy-poor", ("uniform", 20.0, 100.0)),
+    ):
+        specs.append(
+            ScenarioSpec(
+                name=label,
+                trace="cambridge06",
+                protocol="g2g_epidemic",
+                mix=mix,
+                energy_budget=budget,
+                seeds=(1, 2),
+                overrides=SMOKE_OVERRIDES,
+            )
+        )
+    return specs
+
+
+#: Preset name -> zero-arg spec-list constructor.
+PRESETS: Dict[str, object] = {
+    "smoke": _smoke,
+    "mixed-churn": _mixed_churn,
+    "energy": _energy,
+}
+
+
+def preset(name: str) -> List[ScenarioSpec]:
+    """Build a preset campaign by name.
+
+    Raises:
+        KeyError: for unknown names.
+    """
+    if name not in PRESETS:
+        raise KeyError(
+            f"unknown preset {name!r}; expected one of {sorted(PRESETS)}"
+        )
+    return PRESETS[name]()  # type: ignore[operator]

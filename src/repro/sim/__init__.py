@@ -1,7 +1,7 @@
 """Discrete-event DTN simulator driven by contact traces."""
 
 from .config import EnergyModel, SimulationConfig, config_for
-from .engine import Simulation, run_simulation
+from .engine import ChurnEvent, ChurnService, Simulation, run_simulation
 from .events import Event, EventKind, EventQueue, Scheduler, TimerHandle, TimerOwner
 from .messages import Message, StoredCopy
 from .node import NodeState
@@ -10,6 +10,8 @@ from .serialize import load_results, results_from_dict, results_to_dict, save_re
 from .traffic import PoissonTraffic, TrafficDemand, demands_to_messages
 
 __all__ = [
+    "ChurnEvent",
+    "ChurnService",
     "DetectionRecord",
     "EnergyModel",
     "Event",

@@ -16,7 +16,8 @@ forwarding/testing/blacklisting logic lives in the protocol classes.
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, Dict, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Sequence
 
 if TYPE_CHECKING:  # circular at runtime: protocols.base imports sim
     from ..protocols.base import (
@@ -37,6 +38,60 @@ from .node import NodeState
 from .results import SimulationResults
 from .traffic import PoissonTraffic
 
+#: Scheduler tag of churn join/leave timers.
+CHURN_TIMER_TAG = "sim.churn"
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One node-level churn transition.
+
+    Attributes:
+        time: simulation time of the transition.
+        node: the node leaving or (re)joining.
+        action: ``"leave"`` or ``"join"``.
+    """
+
+    time: float
+    node: NodeId
+    action: str
+
+    def __post_init__(self) -> None:
+        if self.action not in ("leave", "join"):
+            raise ValueError(
+                f"churn action must be 'leave' or 'join', got {self.action!r}"
+            )
+
+
+class ChurnService:
+    """Timer owner applying churn transitions to node state.
+
+    Departures drop the node's buffered relays through
+    :meth:`NodeState.depart` (memory settled, TTL timers cancelled);
+    rejoins restore participation with a fresh buffer.  Transitions
+    ride the run scheduler as ``TIMER`` events, so they dispatch in
+    the same deterministic global order as everything else.
+    """
+
+    def __init__(self, ctx: "SimulationContext") -> None:
+        self.ctx = ctx
+        self.departures = 0
+        self.rejoins = 0
+
+    def on_timer(self, tag: str, payload: Any, now: float) -> None:
+        node_id, action = payload
+        node = self.ctx.nodes[node_id]
+        if action == "leave":
+            if not node.departed and not node.evicted:
+                node.depart(now, self.ctx.results)
+                self.departures += 1
+                self.ctx.events.log(now, EventType.DEPARTED, actor=node_id)
+        else:
+            if node.departed and not node.evicted:
+                node.rejoin(now)
+                self.rejoins += 1
+                self.ctx.events.log(now, EventType.REJOINED, actor=node_id)
+
 
 class Simulation:
     """One simulation run binding trace + protocol + config + strategies.
@@ -52,6 +107,10 @@ class Simulation:
             with-outsiders strategies and available to protocols).
         blacklist: PoM propagation service; defaults to instant or
             gossip according to ``config.instant_blacklist``.
+        churn: optional join/leave schedule; each transition becomes a
+            ``TIMER`` event on the run scheduler.
+        energy_budgets: optional per-node energy budgets (joules);
+            empty means the paper's unbounded-battery setting.
     """
 
     def __init__(
@@ -62,6 +121,8 @@ class Simulation:
         strategies: Optional[Dict[NodeId, Strategy]] = None,
         community: Optional["CommunityOracle"] = None,
         blacklist: Optional[BlacklistService] = None,
+        churn: Optional[Sequence[ChurnEvent]] = None,
+        energy_budgets: Optional[Mapping[NodeId, float]] = None,
     ) -> None:
         if trace.num_nodes < 2:
             raise ValueError("simulation needs at least two nodes")
@@ -70,6 +131,19 @@ class Simulation:
         self.config = config
         self.strategies = strategies or {}
         self.community = community
+        self.churn = tuple(churn or ())
+        self.energy_budgets = dict(energy_budgets or {})
+        known = set(trace.nodes)
+        for transition in self.churn:
+            if transition.node not in known:
+                raise ValueError(
+                    f"churn event for unknown node {transition.node}"
+                )
+        for node_id in self.energy_budgets:
+            if node_id not in known:
+                raise ValueError(
+                    f"energy budget for unknown node {node_id}"
+                )
         if blacklist is None:
             blacklist = (
                 InstantBlacklist()
@@ -114,6 +188,7 @@ class Simulation:
             community=self.community,
             events=events,
             scheduler=scheduler,
+            energy_budgets=dict(self.energy_budgets),
         )
 
     def run(self) -> SimulationResults:
@@ -133,6 +208,16 @@ class Simulation:
         queue = scheduler.queue
         horizon = self.config.run_length
         self.blacklist.on_run_start(scheduler, self.trace.nodes)
+        budgeted = bool(self.energy_budgets)
+        if self.churn:
+            churn_service = ChurnService(ctx)
+            for transition in self.churn:
+                scheduler.schedule(
+                    transition.time,
+                    CHURN_TIMER_TAG,
+                    payload=(transition.node, transition.action),
+                    owner=churn_service,
+                )
         for contact in self.trace.contacts:
             if contact.start >= horizon:
                 continue
@@ -162,6 +247,9 @@ class Simulation:
                 assert contact is not None
                 pair = frozenset((contact.a, contact.b))
                 ctx.active_contacts.add(pair)
+                if budgeted:
+                    ctx.check_energy(contact.a, now)
+                    ctx.check_energy(contact.b, now)
                 if ctx.usable_pair(contact.a, contact.b):
                     self.blacklist.on_contact(contact.a, contact.b, now)
                     self.protocol.on_contact_start(contact.a, contact.b, now)
@@ -178,8 +266,8 @@ class Simulation:
             else:
                 assert event.traffic is not None
                 source, destination = event.traffic
-                if ctx.nodes[source].evicted:
-                    continue  # evicted nodes are out of the system
+                if not ctx.nodes[source].participating:
+                    continue  # evicted/departed/depleted: out of the system
                 message = Message(
                     msg_id=msg_counter,
                     source=source,

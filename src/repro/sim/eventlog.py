@@ -33,6 +33,9 @@ class EventType(Enum):
     EVICTED = "evicted"
     BUFFER_EVICTED = "buffer_evicted"
     TIMER = "timer"             # a scheduler timer dispatched
+    DEPARTED = "departed"       # churn: a node left the network
+    REJOINED = "rejoined"       # churn: a departed node came back
+    DEPLETED = "depleted"       # a node's energy budget ran out
 
 
 @dataclass(frozen=True)

@@ -49,6 +49,12 @@ class NodeState:
         seen: message ids this node has handled at some point —
             the honest answer to a RELAY_RQST.
         evicted: True once removed from the network by a PoM.
+        departed: True while the node has churned out of the network
+            (a device switched off); unlike eviction it is reversible
+            via :meth:`rejoin`.
+        depleted: True once the node's energy budget ran out (scenario
+            runs with heterogeneous budgets); participation stops but
+            the buffer stays — storage outlives the radio.
         extra: protocol-private state (quality trackers, held proofs,
             pending test obligations...).
     """
@@ -59,6 +65,8 @@ class NodeState:
     buffer: Dict[int, StoredCopy] = field(default_factory=dict)
     seen: Set[int] = field(default_factory=set)
     evicted: bool = False
+    departed: bool = False
+    depleted: bool = False
     extra: Dict[str, Any] = field(default_factory=dict)
     _buffer_bytes: int = 0
     _memory_clock: float = 0.0
@@ -87,6 +95,31 @@ class NodeState:
         filter alone keeps the candidate scans correct.
         """
         self._scheduler = scheduler
+
+    @property
+    def participating(self) -> bool:
+        """True while the node can open sessions (on, present, alive)."""
+        return not (self.evicted or self.departed or self.depleted)
+
+    def depart(self, now: float, results: SimulationResults) -> None:
+        """Churn out of the network: drop the buffer, go dark.
+
+        The buffered relays are lost (their memory integral settles up
+        to ``now`` and their TTL timers are cancelled through
+        :meth:`flush`, so the relay-candidate index and the scheduler
+        stay consistent).  ``seen`` survives — the node still remembers
+        what it handled, exactly as a real device would across a
+        power cycle — and so do the Δ2 purge timers the protocol
+        registered, which simply find nothing left to purge.
+        """
+        if self.departed:
+            return
+        self.flush(now, results)
+        self.departed = True
+
+    def rejoin(self, now: float) -> None:
+        """Churn back in with a fresh (empty) buffer."""
+        self.departed = False
 
     def has_copy(self, msg_id: int) -> bool:
         """True while a live copy is buffered."""

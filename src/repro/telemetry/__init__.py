@@ -19,6 +19,7 @@ from .export import (
     validate_record,
     write_jsonl,
 )
+from .population import inject_population_metrics, population_metrics
 from .registry import (
     DEFAULT_TIME_BUCKETS,
     TELEMETRY_SCHEMA_VERSION,
@@ -53,7 +54,9 @@ __all__ = [
     "SpanRecorder",
     "TELEMETRY_SCHEMA_VERSION",
     "TelemetryCollector",
+    "inject_population_metrics",
     "merge_metric_snapshots",
+    "population_metrics",
     "merge_run_snapshots",
     "read_jsonl",
     "record_line",

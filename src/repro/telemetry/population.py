@@ -1,0 +1,92 @@
+"""Per-adversary-class telemetry of scenario runs.
+
+Campaign runs carry mixed populations (see ``repro.scenarios``): the
+same run holds honest nodes, droppers, liars, ... at once, and the
+interesting questions — who spent the energy, who got convicted — are
+*per class*, not per run.  This module derives those breakdowns from a
+finished :class:`~repro.sim.results.SimulationResults` plus the run's
+role map and exposes them as flat metric keys::
+
+    scenario.class.<class>.nodes        members of the class
+    scenario.class.<class>.energy       joules spent by the class
+    scenario.class.<class>.detections   PoMs issued against the class
+    scenario.class.<class>.evictions    members evicted by run end
+
+``<class>`` is an adversary kind ("dropper", "liar", ...) or
+``honest`` (every node not assigned a role).  The keys are injected
+into run records **campaign-side**, as plain counters: counters add
+under the standard merge, so a campaign's merged snapshot aggregates
+each class across replications with no new merge semantics.
+
+Everything here reads only serialized result fields (``energy``,
+``detections``, ``evicted_at``), so the breakdown is computable for
+cache hits too — unlike span telemetry, which only live runs carry.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, Sequence, Tuple
+
+from ..traces.trace import NodeId
+
+
+def population_metrics(
+    nodes: Iterable[NodeId],
+    roles: Mapping[str, Sequence[NodeId]],
+    results: Any,
+) -> Dict[str, float]:
+    """Per-class metric keys for one finished run.
+
+    Args:
+        nodes: every node of the run's trace (defines the honest
+            remainder).
+        roles: adversary class -> member nodes (as produced by
+            :meth:`repro.experiments.parallel.RunRequest.roles`).
+        results: the run's ``SimulationResults``.
+
+    Returns:
+        Key-sorted flat mapping of ``scenario.class.*`` metrics.
+    """
+    assigned = set()
+    classes: Dict[str, Tuple[NodeId, ...]] = {}
+    for kind in sorted(roles):
+        members = tuple(sorted(roles[kind]))
+        classes[kind] = members
+        assigned.update(members)
+    classes["honest"] = tuple(
+        sorted(node for node in nodes if node not in assigned)
+    )
+    offenses: Dict[NodeId, int] = {}
+    for detection in results.detections:
+        offenses[detection.offender] = offenses.get(detection.offender, 0) + 1
+    metrics: Dict[str, float] = {}
+    for kind in sorted(classes):
+        members = classes[kind]
+        prefix = f"scenario.class.{kind}"
+        energy = 0.0
+        detections = 0
+        evictions = 0
+        for node in members:  # sorted: float sums fold identically
+            energy += results.energy.get(node, 0.0)
+            detections += offenses.get(node, 0)
+            if node in results.evicted_at:
+                evictions += 1
+        metrics[f"{prefix}.nodes"] = float(len(members))
+        metrics[f"{prefix}.energy"] = energy
+        metrics[f"{prefix}.detections"] = float(detections)
+        metrics[f"{prefix}.evictions"] = float(evictions)
+    return metrics
+
+
+def inject_population_metrics(
+    record: Dict[str, Any], metrics: Mapping[str, float]
+) -> None:
+    """Fold per-class metrics into a JSONL run record's counters.
+
+    Counters add under :func:`~repro.telemetry.registry.merge_metric_snapshots`,
+    so merged campaign snapshots aggregate each class across runs.
+    """
+    telemetry = record.setdefault("telemetry", {})
+    counters = telemetry.setdefault("counters", {})
+    for name in sorted(metrics):
+        counters[name] = counters.get(name, 0) + metrics[name]

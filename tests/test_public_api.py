@@ -75,6 +75,9 @@ class TestFacadeSurface:
             "seed",
             "adversary",
             "adversary_count",
+            "mix",
+            "churn",
+            "energy_budgets",
             "strategies",
             "community",
             "blacklist",

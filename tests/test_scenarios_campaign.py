@@ -1,0 +1,148 @@
+"""Campaign determinism pin: worker counts, cache states, golden schema.
+
+The campaign matrix is the subsystem's product; this suite pins that
+
+* a workers=4 campaign is byte-identical to workers=1 — matrix rows,
+  digest, and merged telemetry;
+* a cache-warm rerun reproduces the same matrix rows (per-class
+  columns are recomputed from serialized fields, so cache hits carry
+  them too);
+* the matrix document matches the golden fixture under
+  ``tests/golden/`` — schema drift must be deliberate.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.cache import RunCache
+from repro.scenarios import (
+    ScenarioSpec,
+    build_matrix,
+    matrix_digest,
+    run_campaign,
+)
+from tests.test_determinism_seeds import QUICK
+
+GOLDEN = os.path.join(
+    os.path.dirname(__file__), "golden", "campaign_matrix.json"
+)
+
+#: The acceptance campaign: the 40/20/10 mixed population with churn
+#: on cambridge06 (shortened window), one seed.
+ACCEPTANCE = ScenarioSpec(
+    name="mixed-churn",
+    trace="cambridge06",
+    protocol="g2g_epidemic",
+    mix=(("cheater", 0.1), ("dropper", 0.4), ("liar", 0.2)),
+    churn=((0.1, 600.0, 1200.0), (0.05, 900.0, None)),
+    seeds=(1,),
+    overrides=tuple(sorted(QUICK)),
+)
+
+
+def _campaign():
+    return [
+        ACCEPTANCE,
+        ScenarioSpec(
+            name="honest-baseline",
+            trace="cambridge06",
+            protocol="g2g_epidemic",
+            seeds=(1,),
+            overrides=tuple(sorted(QUICK)),
+        ),
+    ]
+
+
+def _canonical(document) -> str:
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+class TestWorkerCountInvariance:
+    @pytest.fixture(scope="class")
+    def sequential(self):
+        return run_campaign(_campaign(), workers=1)
+
+    def test_matrix_byte_identical_across_worker_counts(self, sequential):
+        parallel = run_campaign(_campaign(), workers=4)
+        assert _canonical(parallel.matrix) == _canonical(sequential.matrix)
+        assert parallel.digest == sequential.digest
+
+    def test_merged_telemetry_identical_across_worker_counts(
+        self, sequential
+    ):
+        parallel = run_campaign(_campaign(), workers=4)
+        assert _canonical(parallel.merged) == _canonical(sequential.merged)
+        assert [r["scenario"] for r in parallel.records] == [
+            r["scenario"] for r in sequential.records
+        ]
+
+    def test_consecutive_runs_identical(self, sequential):
+        again = run_campaign(_campaign(), workers=1)
+        assert again.digest == sequential.digest
+
+    def test_per_class_keys_reach_the_records(self, sequential):
+        record = sequential.records[0]
+        counters = record["telemetry"]["counters"]
+        for cls in ("cheater", "dropper", "liar", "honest"):
+            for metric in ("nodes", "energy", "detections", "evictions"):
+                assert f"scenario.class.{cls}.{metric}" in counters
+        assert record["scenario"] == "mixed-churn"
+
+    def test_jsonl_records_validate(self, sequential, tmp_path):
+        from repro.telemetry.export import read_jsonl, validate_record
+
+        redo = run_campaign(
+            _campaign(), workers=1, telemetry_dir=str(tmp_path)
+        )
+        path = tmp_path / "campaign.jsonl"
+        records = read_jsonl(str(path))
+        assert len(records) == len(redo.records)
+        for record in records:
+            assert validate_record(record) == []
+        assert (tmp_path / "campaign.prom").read_text().strip()
+
+
+class TestCacheInvariance:
+    def test_cache_warm_rerun_reproduces_matrix_rows(self, tmp_path):
+        cache = RunCache(tmp_path / "cache")
+        cold = run_campaign(_campaign(), workers=1, cache=cache)
+        warm = run_campaign(_campaign(), workers=1, cache=cache)
+        assert warm.report.cached == warm.report.total
+        # Cache hits carry no telemetry, but every matrix column —
+        # including the per-class breakdown — is recomputed from the
+        # serialized results, so the matrix itself is unchanged.
+        assert _canonical(warm.matrix) == _canonical(cold.matrix)
+        assert warm.records == []
+
+    def test_duplicate_scenario_names_rejected(self):
+        with pytest.raises(ValueError):
+            run_campaign([ACCEPTANCE, ACCEPTANCE])
+
+    def test_empty_campaign_rejected(self):
+        with pytest.raises(ValueError):
+            run_campaign([])
+
+
+class TestMatrixSchema:
+    def test_missing_columns_rejected(self):
+        with pytest.raises(ValueError):
+            build_matrix([{"scenario": "x"}])
+
+    def test_golden_matrix(self):
+        result = run_campaign([ACCEPTANCE], workers=1)
+        with open(GOLDEN, "r", encoding="utf-8") as handle:
+            golden = json.load(handle)
+        assert result.matrix == golden, (
+            "campaign matrix drifted from tests/golden/campaign_matrix.json"
+            " — if the change is deliberate, regenerate the fixture"
+            " (see docs/scenarios.md)"
+        )
+        assert matrix_digest(result.matrix) == matrix_digest(golden)
+
+    def test_spec_round_trips_through_json(self):
+        data = ACCEPTANCE.to_dict()
+        assert ScenarioSpec.from_dict(json.loads(json.dumps(data))) == (
+            ACCEPTANCE
+        )

@@ -1,0 +1,168 @@
+"""Mixed-population conformance: determinism, quotas, role exclusivity.
+
+Property-style checks over :func:`repro.adversaries.mixed_population`
+across seeds and mixes, plus the regression pinned by the factory
+refactor: a kind listed with fraction 0.0 must be *exactly* equivalent
+to leaving the kind out — down to the run digest — because empty
+placement slices consume no shuffle draws.
+"""
+
+import pytest
+
+from repro.adversaries import (
+    HONEST,
+    mix_counts,
+    mixed_population,
+    population_from_roles,
+    strategy_population,
+    validate_kind,
+)
+from tests.test_determinism_seeds import QUICK, results_digest
+
+from repro.experiments.parallel import RunRequest, execute_request
+
+NODES = tuple(range(40))
+
+MIXES = [
+    {"dropper": 0.4, "liar": 0.2, "cheater": 0.1},
+    {"dropper": 0.5},
+    {"liar": 0.33, "dodger": 0.33},
+    {"dropper": 0.25, "liar": 0.25, "cheater": 0.25, "dodger": 0.25},
+]
+
+
+class TestMixCounts:
+    @pytest.mark.parametrize("mix", MIXES)
+    @pytest.mark.parametrize("n", [10, 36, 41, 100])
+    def test_counts_within_one_of_quota(self, mix, n):
+        counts = mix_counts(n, mix)
+        for kind, fraction in mix.items():
+            assert abs(counts[kind] - fraction * n) < 1.0 + 1e-9
+
+    def test_zero_fraction_dropped(self):
+        counts = mix_counts(50, {"dropper": 0.2, "liar": 0.0})
+        assert counts == {"dropper": 10}
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            mix_counts(50, {"dropper": -0.1})
+
+    def test_overfull_mix_rejected(self):
+        with pytest.raises(ValueError):
+            mix_counts(50, {"dropper": 0.7, "liar": 0.5})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(KeyError):
+            mix_counts(50, {"freeloader": 0.1})
+
+    def test_outsider_kinds_validate_without_oracle(self):
+        # validate_kind must accept the _with_outsiders spellings even
+        # though instantiating them needs a community oracle.
+        assert validate_kind("dropper_with_outsiders") == ("dropper", True)
+        counts = mix_counts(50, {"dropper_with_outsiders": 0.2})
+        assert counts == {"dropper_with_outsiders": 10}
+
+
+class TestMixedPopulation:
+    @pytest.mark.parametrize("mix", MIXES)
+    @pytest.mark.parametrize("seed", [1, 2, 7])
+    def test_deterministic_per_seed(self, mix, seed):
+        first = mixed_population(NODES, mix, seed=seed)
+        second = mixed_population(NODES, mix, seed=seed)
+        assert first[1] == second[1]
+        assert {n: type(s) for n, s in first[0].items()} == {
+            n: type(s) for n, s in second[0].items()
+        }
+
+    @pytest.mark.parametrize("mix", MIXES)
+    def test_no_node_gets_two_roles(self, mix):
+        _, roles = mixed_population(NODES, mix, seed=3)
+        assigned = [node for members in roles.values() for node in members]
+        assert len(assigned) == len(set(assigned))
+        assert set(assigned) <= set(NODES)
+
+    @pytest.mark.parametrize("mix", MIXES)
+    @pytest.mark.parametrize("seed", [1, 5])
+    def test_counts_within_one_of_quota(self, mix, seed):
+        _, roles = mixed_population(NODES, mix, seed=seed)
+        for kind, fraction in mix.items():
+            assert abs(len(roles[kind]) - fraction * len(NODES)) < 1.0 + 1e-9
+
+    def test_seeds_differ(self):
+        mix = {"dropper": 0.4, "liar": 0.2}
+        _, one = mixed_population(NODES, mix, seed=1)
+        _, other = mixed_population(NODES, mix, seed=2)
+        assert one != other
+
+    def test_remainder_is_honest(self):
+        strategies, roles = mixed_population(
+            NODES, {"dropper": 0.25}, seed=4
+        )
+        assigned = set(roles["dropper"])
+        for node in NODES:
+            if node in assigned:
+                assert strategies[node] is not HONEST
+            else:
+                assert strategies[node] is HONEST
+
+    def test_zero_fraction_identical_assignment(self):
+        # The tentpole property behind the digest regression below:
+        # a 0.0 entry consumes no draws, so placement cannot move.
+        mix = {"dropper": 0.3}
+        padded = {"dropper": 0.3, "liar": 0.0, "cheater": 0.0}
+        _, base_roles = mixed_population(NODES, mix, seed=9)
+        _, padded_roles = mixed_population(NODES, padded, seed=9)
+        assert base_roles == padded_roles
+
+
+class TestPopulationFromRoles:
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ValueError):
+            population_from_roles(NODES, {999: "dropper"})
+
+    def test_single_kind_path_unchanged(self):
+        # strategy_population now funnels through the role map; its
+        # sampled placement must still match the dedicated RNG stream.
+        strategies, misbehaving = strategy_population(
+            NODES, "dropper", 5, seed=11
+        )
+        assert len(misbehaving) == 5
+        for node in misbehaving:
+            assert strategies[node] is not HONEST
+
+
+class TestZeroFractionDigestRegression:
+    def test_zero_fraction_entry_yields_baseline_digest(self):
+        base = RunRequest(
+            trace_name="cambridge06",
+            family="epidemic",
+            protocol_name="g2g_epidemic",
+            seed=1,
+            overrides=QUICK,
+            mix=(("dropper", 0.2),),
+        )
+        padded = RunRequest(
+            trace_name="cambridge06",
+            family="epidemic",
+            protocol_name="g2g_epidemic",
+            seed=1,
+            overrides=QUICK,
+            mix=(("dropper", 0.2), ("liar", 0.0)),
+        )
+        assert results_digest(execute_request(base)) == results_digest(
+            execute_request(padded)
+        )
+
+    def test_mix_and_deviation_are_exclusive(self):
+        request = RunRequest(
+            trace_name="cambridge06",
+            family="epidemic",
+            protocol_name="g2g_epidemic",
+            seed=1,
+            overrides=QUICK,
+            deviation="dropper",
+            deviation_count=3,
+            mix=(("liar", 0.1),),
+        )
+        with pytest.raises(ValueError):
+            execute_request(request)
