@@ -1,0 +1,32 @@
+"""Compiled-build compatibility shim.
+
+The optional mypyc build (``REPRO_FAST=1 pip install .[fast]``, see
+setup.py) compiles classes to *native* classes by default: no
+``__dict__``, no ``object.__setattr__``, declared attributes only.
+The wire artifacts deliberately use both — the one-shot payload memo
+stores the first encoding in ``__dict__`` and the signing helpers
+backfill signature slots on frozen dataclasses — so those classes opt
+out with ``@mypyc_attr(native_class=False)``: the module's hot free
+functions still compile, the classes keep exact CPython semantics.
+
+``mypyc_attr`` lives in ``mypy_extensions``, which ships with mypy but
+is not a runtime dependency of the pure-Python install; fall back to a
+no-op decorator so plain installs never import it.
+"""
+
+from typing import Any, Callable, TypeVar
+
+_T = TypeVar("_T")
+
+try:
+    from mypy_extensions import mypyc_attr
+except ImportError:  # pure-Python install without mypy: inert
+
+    def mypyc_attr(*attrs: str, **kwargs: Any) -> Callable[[_T], _T]:
+        def decorator(obj: _T) -> _T:
+            return obj
+
+        return decorator
+
+
+__all__ = ["mypyc_attr"]

@@ -32,7 +32,19 @@ from __future__ import annotations
 
 import os
 from dataclasses import replace
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:
+    from .crypto.provider import CryptoProvider
 
 from .adversaries.base import Strategy
 from .adversaries.factory import mixed_population, strategy_population
@@ -86,6 +98,7 @@ def run(
     community: Optional[CommunityOracle] = None,
     blacklist: Optional[BlacklistService] = None,
     telemetry: Optional[TelemetrySink] = None,
+    provider: Union[None, str, "CryptoProvider"] = None,
 ) -> SimulationResults:
     """Execute one simulation run — the blessed single-run entry point.
 
@@ -118,6 +131,13 @@ def run(
         blacklist: PoM propagation service override.
         telemetry: a directory (the run's JSONL record is appended to
             ``<dir>/runs.jsonl``) or a :class:`TelemetryCollector`.
+        provider: crypto provider tier for Give2Get protocols — a
+            tier name from :data:`repro.crypto.TIER_NAMES` ("real" /
+            "simulated" / "accounting") or a ready
+            :class:`~repro.crypto.CryptoProvider` instance.  None
+            keeps the protocol's own default (simulated).  Raises
+            :class:`ValueError` for protocols that take no provider
+            (e.g. plain epidemic).
 
     Returns:
         The run's :class:`SimulationResults`, with the telemetry
@@ -137,6 +157,16 @@ def run(
     else:
         protocol_obj = protocol
         family = protocol_obj.family
+
+    if provider is not None:
+        use_provider = getattr(protocol_obj, "use_provider", None)
+        if use_provider is None:
+            raise ValueError(
+                f"protocol {protocol_obj.name!r} does not take a crypto "
+                "provider; the provider= argument only applies to the "
+                "Give2Get families"
+            )
+        use_provider(provider)
 
     if isinstance(config, SimulationConfig):
         run_config = config

@@ -88,6 +88,20 @@ def _workers_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _provider_parent() -> argparse.ArgumentParser:
+    """Shared ``--provider`` flag (simulate and perf)."""
+    from .crypto import TIER_NAMES
+
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--provider", choices=TIER_NAMES, default=None,
+        help="crypto provider tier for Give2Get protocols: real "
+        "(from-scratch RSA, slow), simulated (default), or accounting "
+        "(zero hashing, identical results; see docs/simulator.md)",
+    )
+    return parent
+
+
 def _telemetry_parent() -> argparse.ArgumentParser:
     """Shared ``--telemetry-dir`` flag (simulate/experiment/sweep)."""
     parent = argparse.ArgumentParser(add_help=False)
@@ -111,7 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
         "simulate", help="run one simulation",
         parents=[
             _trace_parent(), _protocol_parent(), _seed_parent(1),
-            _telemetry_parent(),
+            _telemetry_parent(), _provider_parent(),
         ],
     )
     simulate.add_argument(
@@ -191,7 +205,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     perf = sub.add_parser(
-        "perf", help="run the hot-path benchmark and write BENCH_hotpath.json"
+        "perf", help="run the hot-path benchmark and write BENCH_hotpath.json",
+        parents=[_provider_parent()],
     )
     perf.add_argument(
         "--out", default="BENCH_hotpath.json",
@@ -293,13 +308,17 @@ def cmd_simulate(args) -> int:
                 f"planted {args.count} x {args.adversary}: "
                 f"nodes {list(misbehaving)}"
             )
-    results = api.run(
-        args.trace,
-        args.protocol,
-        seed=args.seed,
-        strategies=strategies,
-        telemetry=args.telemetry_dir,
-    )
+    try:
+        results = api.run(
+            args.trace,
+            args.protocol,
+            seed=args.seed,
+            strategies=strategies,
+            telemetry=args.telemetry_dir,
+            provider=args.provider,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
     if args.json:
         print(record_line(run_record(results)))
         return 0
@@ -503,12 +522,14 @@ def cmd_perf(args) -> int:
     from .perf import bench
 
     report = bench.write_report(
-        args.out, repeats=args.repeats, profile=not args.no_profile
+        args.out, repeats=args.repeats, profile=not args.no_profile,
+        provider=args.provider,
     )
     optimized = report["optimized"]
     print(
         f"hot-path benchmark: {optimized['spec']['trace']} / g2g_epidemic / "
-        f"seed {optimized['spec']['seed']}"
+        f"seed {optimized['spec']['seed']} / "
+        f"provider {optimized['spec']['provider']}"
     )
     print(
         f"  wall     : best {optimized['wall_seconds_best']:.3f} s of "
@@ -527,6 +548,17 @@ def cmd_perf(args) -> int:
         f"{counters['signatures']} signatures, "
         f"{counters['encodings']} encodings "
         f"({counters['encoding_cache_hits']} cache hits)"
+    )
+    tiers = report["tiers"]
+    for tier in ("simulated", "accounting"):
+        block = tiers[tier]
+        print(
+            f"  tier {tier:<10}: best {block['wall_seconds_best']:.3f} s, "
+            f"digest {block['results_digest'][:12]}"
+        )
+    print(
+        f"  tiers identical results: {tiers['identical_results']}, "
+        f"build: {tiers['compiled']['status']}"
     )
     print(f"wrote {args.out}")
     return 0

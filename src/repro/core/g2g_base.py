@@ -25,13 +25,15 @@ the liar check in the test by the destination).
 
 from __future__ import annotations
 
+from array import array
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple, Union
 
 from ..adversaries.base import Strategy
-from ..crypto.hashing import HeavyHmac
-from ..crypto.keys import Authority, NodeIdentity
-from ..crypto.provider import CryptoProvider, SimulatedCryptoProvider
+from ..crypto.keys import Authority, Certificate, NodeIdentity
+from ..crypto.provider import CryptoProvider
+from ..crypto.tiers import make_provider
 from ..perf.counters import COUNTERS
 from ..protocols.base import ForwardingProtocol, SimulationContext, make_room
 from ..sim.eventlog import EventType
@@ -53,14 +55,35 @@ from .proofs import (
     random_seed,
     seal_message,
     verify_proof_of_relay,
+    verify_proofs_of_relay,
     verify_storage_proof,
 )
-from .wire import CONTROL_MESSAGE_SIZE, SealedMessage
+from .wire import CONTROL_MESSAGE_SIZE, ProofOfRelay, SealedMessage
 
-#: Scheduler tags of the Δ2 deadlines (one timer per stored copy /
-#: audit record, registered at store time).
-PURGE_BUFFER_TAG = "g2g.purge_buffer"
-PURGE_RECORDS_TAG = "g2g.purge_records"
+#: A per-node deadline queue: a sorted ``array('d')`` of deadlines and
+#: the parallel list of message ids, maintained with ``bisect``.  The
+#: Δ2 purges used to be one scheduler timer per stored copy / audit
+#: record; the deadlines are observationally transparent (every read
+#: of the purged state is already guarded by the Δ2 window), so they
+#: now live in these arrays and are drained at the owning node's next
+#: contact — removing two scheduler events per hand-off from the run
+#: without changing any observable output.
+DeadlineQueue = Tuple[array, List[int]]
+
+
+def _enqueue_deadline(
+    queue: DeadlineQueue, deadline: float, msg_id: int
+) -> None:
+    """Insert one (deadline, msg_id) entry keeping the queue sorted.
+
+    Deadlines arrive in near-sorted order (message creation times are
+    monotone within a run), so the ``bisect`` lands at or near the end
+    and the insert is effectively an append.
+    """
+    times, ids = queue
+    index = bisect_right(times, deadline)
+    times.insert(index, deadline)
+    ids.insert(index, msg_id)
 
 
 @dataclass
@@ -112,7 +135,11 @@ class Give2GetBase(ForwardingProtocol):
     """Common implementation of the two Give2Get protocols.
 
     Args:
-        provider: crypto provider (default: the fast simulated one).
+        provider: crypto provider — an instance, a tier name from
+            :data:`repro.crypto.tiers.PROVIDER_TIERS` (``"real"`` /
+            ``"simulated"`` / ``"accounting"``), or None for the fast
+            simulated default.  Named tiers are constructed at
+            :meth:`bind` time over the run's seeded ``ctx.rng``.
         testers: who initiates test phases.  ``"source"`` (default) is
             the paper's protocol — only the message source audits its
             direct relays, which is what makes testing incentive-
@@ -128,7 +155,7 @@ class Give2GetBase(ForwardingProtocol):
 
     def __init__(
         self,
-        provider: Optional[CryptoProvider] = None,
+        provider: Union[None, str, CryptoProvider] = None,
         testers: str = "source",
     ) -> None:
         super().__init__()
@@ -139,30 +166,53 @@ class Give2GetBase(ForwardingProtocol):
         self._provider = provider
         self.testers = testers
 
+    def use_provider(self, provider: Union[str, CryptoProvider]) -> None:
+        """Select the crypto provider before the run binds the protocol.
+
+        The hook behind ``api.run(provider=...)`` and the CLI's
+        ``--provider``: catalog factories take no arguments, so the
+        facade constructs the protocol first and injects the provider
+        choice here.  Must be called before :meth:`bind`.
+        """
+        if hasattr(self, "provider"):
+            raise RuntimeError("use_provider must be called before bind()")
+        self._provider = provider
+
     # -- lifecycle ------------------------------------------------------
 
     def bind(self, ctx: SimulationContext) -> None:
         super().bind(ctx)
-        provider = self._provider or SimulatedCryptoProvider(ctx.rng)
+        provider = self._provider
+        if provider is None:
+            provider = "simulated"
+        if isinstance(provider, str):
+            provider = make_provider(provider, ctx.rng)
+        self.provider = provider
         self.authority = Authority(provider)
         self.identities: Dict[NodeId, NodeIdentity] = {
             node_id: self.authority.enroll(node_id) for node_id in ctx.nodes
         }
-        self.heavy_hmac = HeavyHmac(ctx.config.heavy_hmac_iterations)
+        self.heavy_hmac = provider.heavy_hmac(ctx.config.heavy_hmac_iterations)
         self._sealed: Dict[int, SealedMessage] = {}
         self._wire_bytes: Dict[int, bytes] = {}
         self._hash: Dict[int, bytes] = {}
         self._sources: Dict[NodeId, Dict[int, _SourceRecord]] = {
             node_id: {} for node_id in ctx.nodes
         }
-        # Housekeeping via the run scheduler: every store registers a
-        # ``created_at + Δ2`` timer.  Record purges apply at dispatch
-        # (nothing reads a record past its window); buffer purges only
-        # *mark* the copy ripe here and the drop happens at the node's
-        # next contact — exactly when the old per-contact sweep dropped
-        # it, which is what keeps the memory byte-second integral (and
-        # the golden results) bit-identical.
-        self._ripe_purges: Dict[NodeId, List[int]] = {}
+        # Housekeeping deadlines: every store enqueues ``created_at +
+        # Δ2`` on the owning node's deadline queue.  Record purges
+        # apply when the queue drains (nothing reads a record past its
+        # window); buffer purges drop the copy at the node's next
+        # contact with ``deadline < now`` — exactly when the old
+        # per-contact sweep (and the timer-based design after it)
+        # dropped it, which is what keeps the memory byte-second
+        # integral (and the golden results) bit-identical.
+        self._purge_queues: Dict[NodeId, DeadlineQueue] = {
+            node_id: (array("d"), []) for node_id in ctx.nodes
+        }
+        self._record_queues: Dict[NodeId, DeadlineQueue] = {
+            node_id: (array("d"), []) for node_id in ctx.nodes
+        }
         # Hot-loop constants: per-run invariants read on every relay.
         config = ctx.config
         energy = config.energy
@@ -209,12 +259,10 @@ class Give2GetBase(ForwardingProtocol):
             self.ctx.results,
         )
         purge_at = message.created_at + self._delta2
-        self.ctx.schedule(
-            purge_at, PURGE_BUFFER_TAG, (message.source, message.msg_id)
-        )
-        self.ctx.schedule(
-            purge_at, PURGE_RECORDS_TAG, (message.source, message.msg_id)
-        )
+        _enqueue_deadline(self._purge_queues[message.source], purge_at,
+                          message.msg_id)
+        _enqueue_deadline(self._record_queues[message.source], purge_at,
+                          message.msg_id)
         for peer in list(self.ctx.active_neighbors(message.source)):
             if self.ctx.usable_pair(message.source, peer):
                 self._offer(source, self.ctx.node(peer), now)
@@ -362,6 +410,14 @@ class Give2GetBase(ForwardingProtocol):
         giver_id = giver.node_id
         relay_fanout = self._relay_fanout
         source_fanout = self._source_fanout
+        # Collect-then-verify: each hand-off appends its PoR here and
+        # the whole offer is checked with one batched provider call
+        # below.  Deferring is sound because nothing in the loop reads
+        # the verification outcome — within the threat model signatures
+        # are unforgeable, so an honest taker's PoR cannot fail — while
+        # the giver's per-relay verification *energy* is still charged
+        # inline, in protocol-step order (see ``_relay_one``).
+        pending: List[Tuple[Certificate, ProofOfRelay]] = []
         for copy in candidates:
             cap = (
                 source_fanout
@@ -370,13 +426,25 @@ class Give2GetBase(ForwardingProtocol):
             )
             if len(copy.relays) >= cap:
                 continue
-            if not (giver.participating and taker.participating):
+            # ``participating`` unrolled (it is a property, and two
+            # property calls per candidate are measurable here).
+            if (
+                giver.evicted or giver.departed or giver.depleted
+                or taker.evicted or taker.departed or taker.depleted
+            ):
                 break
-            self._relay_one(giver, taker, copy, now)
+            self._relay_one(giver, taker, copy, now, pending)
             if self._budgeted:
                 ctx = self.ctx
                 ctx.check_energy(giver_id, now)
                 ctx.check_energy(taker.node_id, now)
+        if pending and not verify_proofs_of_relay(
+            self.identities[giver_id], pending
+        ):  # pragma: no cover - honest takers always produce valid PoRs
+            raise RuntimeError(
+                "proof-of-relay batch failed verification: a signature "
+                "was forged, which the simulation's threat model forbids"
+            )
 
     def _fanout_cap(self, giver: NodeState, copy: StoredCopy) -> float:
         """Relay cap for this holder: give-2 for relays, wider for the
@@ -388,9 +456,20 @@ class Give2GetBase(ForwardingProtocol):
         return config.relay_fanout
 
     def _relay_one(
-        self, giver: NodeState, taker: NodeState, copy: StoredCopy, now: float
+        self,
+        giver: NodeState,
+        taker: NodeState,
+        copy: StoredCopy,
+        now: float,
+        pending: Optional[List[Tuple[Certificate, ProofOfRelay]]] = None,
     ) -> bool:
-        """Run the full relay phase for one copy; True on hand-off."""
+        """Run the full relay phase for one copy; True on hand-off.
+
+        With ``pending`` (the batched path driven by :meth:`_offer`)
+        the giver's PoR check is appended there and verified in one
+        provider call per offer; without it (direct callers, unit
+        tests) the PoR verifies inline exactly as before.
+        """
         ctx = self.ctx
         results = ctx.results
         events = ctx.events
@@ -427,12 +506,17 @@ class Give2GetBase(ForwardingProtocol):
             )
         # Charges stay separate and in protocol-step order: folding
         # them would change float accumulation order and break
-        # bit-identical energy totals.
-        results.add_energy(giver_id, costs[0])
-        results.add_energy(taker_id, costs[1])
+        # bit-identical energy totals.  The per-node ledger updates
+        # are inlined (``results.add_energy`` unrolled): four charges
+        # per hand-off make the call overhead itself measurable.
+        energy_acct = results.energy
+        energy_get = energy_acct.get
+        energy_acct[giver_id] = energy_get(giver_id, 0.0) + costs[0]
+        energy_acct[taker_id] = energy_get(taker_id, 0.0) + costs[1]
         # Step 4: the taker signs the Proof of Relay.
+        taker_identity = identities[taker_id]
         por = make_proof_of_relay(
-            identities[taker_id],
+            taker_identity,
             self._hash[msg_id],
             giver_id,
             now,
@@ -440,14 +524,16 @@ class Give2GetBase(ForwardingProtocol):
             message_quality=plan.message_quality,
             taker_quality=plan.taker_quality,
         )
-        results.add_energy(taker_id, self._sig_cost)
-        if not verify_proof_of_relay(
+        energy_acct[taker_id] = energy_get(taker_id, 0.0) + self._sig_cost
+        if pending is not None:
+            pending.append((taker_identity.certificate, por))
+        elif not verify_proof_of_relay(
             identities[giver_id],
-            identities[taker_id].certificate,
+            taker_identity.certificate,
             por,
         ):  # pragma: no cover - honest takers always produce valid PoRs
             return False
-        results.add_energy(giver_id, self._ver_cost)
+        energy_acct[giver_id] = energy_get(giver_id, 0.0) + self._ver_cost
         copy.proofs.append(por)
         copy.relays.append(taker_id)
         if (
@@ -464,10 +550,10 @@ class Give2GetBase(ForwardingProtocol):
             # records for the messages they hand out.
             record = _SourceRecord(message=message, is_source=False)
             self._sources[giver_id][msg_id] = record
-            ctx.schedule(
+            _enqueue_deadline(
+                self._record_queues[giver_id],
                 message.created_at + self._delta2,
-                PURGE_RECORDS_TAG,
-                (giver_id, msg_id),
+                msg_id,
             )
         if record is not None:
             record.takers.append(taker_id)
@@ -522,7 +608,7 @@ class Give2GetBase(ForwardingProtocol):
         if taken is None:
             taken = taker.extra["taken"] = {}
         taken[msg_id] = (giver_id, purge_at)
-        ctx.schedule(purge_at, PURGE_BUFFER_TAG, (taker_id, msg_id))
+        _enqueue_deadline(self._purge_queues[taker_id], purge_at, msg_id)
         COUNTERS.relay_handoffs += 1
         keep = taker.strategy.keep_relayed_copy(
             taker_id, message, giver_id, now
@@ -597,13 +683,14 @@ class Give2GetBase(ForwardingProtocol):
         proofs = list(copy.proofs) if copy is not None else []
         source_identity = self.identities[source.node_id]
         if len(proofs) >= ctx.config.relay_fanout:
-            valid = all(
-                verify_proof_of_relay(
-                    source_identity,
-                    self.identities[por.taker].certificate,
-                    por,
-                )
-                for por in proofs
+            # The handshake choke point of the test phase: both PoRs
+            # check in one batched provider call.
+            valid = verify_proofs_of_relay(
+                source_identity,
+                [
+                    (self.identities[por.taker].certificate, por)
+                    for por in proofs
+                ],
             )
             for _ in proofs:
                 self._charge_verification(source.node_id)
@@ -716,51 +803,41 @@ class Give2GetBase(ForwardingProtocol):
 
     # -- housekeeping -------------------------------------------------------
 
-    def on_timer(self, tag: str, payload: Any, now: float) -> None:
-        """Δ2 deadline dispatch (scheduled at every store).
-
-        The ``TIMER`` priority makes these fire after every contact at
-        the same instant, so a contact at exactly ``created_at + Δ2``
-        still sees the pre-purge state — the same semantics as the old
-        per-contact strict-``<`` sweep.  Record purges apply here:
-        every read of a source record is guarded by its Δ2 window, so
-        removing it at the deadline is unobservable.  Buffer purges
-        only *mark* the copy ripe: the actual drop waits for the
-        node's next contact (see :meth:`_apply_ripe_purges`), when the
-        old sweep would have dropped it — dropping at the deadline
-        instead would end the copy's memory byte-second accrual early
-        and change the reproduced memory figures.
-        """
-        if tag == PURGE_BUFFER_TAG:
-            node_id, msg_id = payload
-            self._ripe_purges.setdefault(node_id, []).append(msg_id)
-        elif tag == PURGE_RECORDS_TAG:
-            node_id, msg_id = payload
-            self._sources[node_id].pop(msg_id, None)
-        else:
-            super().on_timer(tag, payload, now)
-
     def _apply_ripe_purges(self, node: NodeState, now: float) -> None:
-        """Drop the node's Δ2-ripe copies (messages and proofs).
+        """Drain the node's ripe Δ2 deadlines (copies and records).
 
-        Entries for messages dropped earlier (strategy drops, body
-        discards, evictions) are simply skipped — the buffer stays
-        authoritative, the ripe list only schedules the look.  A
-        message id never re-enters a node's buffer (``seen`` forbids
-        re-taking), so one timer per store suffices.  The purge set
-        and its timing are identical to the original full-buffer scan;
-        only the cost drops from O(buffer) per contact to O(expired)
-        amortized.
+        Both queues pop strictly-``deadline < now`` entries, which is
+        exactly the set the timer-based design applied at this moment:
+        a timer at ``created_at + Δ2`` sorted after every contact at
+        the same instant, so a contact at exactly the deadline still
+        saw the pre-purge state.  Entries for messages dropped earlier
+        (strategy drops, body discards, evictions) are simply skipped
+        — the buffer stays authoritative, the queue only schedules the
+        look.  A message id never re-enters a node's buffer (``seen``
+        forbids re-taking), so one entry per store suffices.  Record
+        removal is unobservable by construction: every read of a
+        source record is guarded by its Δ2 window.
         """
-        ripe = self._ripe_purges.pop(node.node_id, None)
-        if ripe is None:
-            return
-        COUNTERS.housekeeping_scans += 1
-        results = self.ctx.results
-        buffer = node.buffer
-        for msg_id in ripe:
-            if msg_id in buffer:
-                node.drop(msg_id, now, results)
+        node_id = node.node_id
+        times, ids = self._purge_queues[node_id]
+        if times and times[0] < now:
+            COUNTERS.housekeeping_scans += 1
+            count = bisect_left(times, now)
+            results = self.ctx.results
+            buffer = node.buffer
+            for msg_id in ids[:count]:
+                if msg_id in buffer:
+                    node.drop(msg_id, now, results)
+            del times[:count]
+            del ids[:count]
+        times, ids = self._record_queues[node_id]
+        if times and times[0] < now:
+            count = bisect_left(times, now)
+            records = self._sources[node_id]
+            for msg_id in ids[:count]:
+                records.pop(msg_id, None)
+            del times[:count]
+            del ids[:count]
 
     # -- energy helpers ------------------------------------------------------
 

@@ -10,10 +10,11 @@ against the trusted authority).
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 from ..crypto.hashing import HeavyHmac
 from ..crypto.keys import Certificate, NodeIdentity
+from ..perf import COUNTERS
 from ..traces.trace import NodeId
 from .wire import (
     ProofOfRelay,
@@ -102,19 +103,39 @@ def make_proof_of_relay(
     indistinguishable from a normally constructed instance: equality,
     hashing, ``repr`` and ``dataclasses.replace`` all read the same
     attributes, and ``ProofOfRelay`` defines no ``__post_init__``.
+
+    The signed payload is encoded inline, byte-for-byte identical to
+    :meth:`ProofOfRelay.payload`, and pre-seeded into the encoding
+    memo (with the matching ``COUNTERS.encodings`` charge), so the
+    builder pays neither the method-call round-trip nor a re-encode
+    when the giver verifies the proof moments later.  The signature
+    goes straight through ``taker.provider`` — the identity's
+    :meth:`~repro.crypto.keys.NodeIdentity.sign` is a pure delegate.
     """
+    taker_id = taker.node_id
+    COUNTERS.encodings += 1
+    payload = b"|".join((
+        b"POR", msg_hash, b"%d" % giver, b"%d" % taker_id,
+        b"None" if quality_subject is None else b"%d" % quality_subject,
+        (
+            b"None" if message_quality is None
+            else repr(message_quality).encode()
+        ),
+        b"None" if taker_quality is None else repr(taker_quality).encode(),
+        repr(now).encode(),
+    ))
     por = ProofOfRelay.__new__(ProofOfRelay)
     por.__dict__.update(
         msg_hash=msg_hash,
         giver=giver,
-        taker=taker.node_id,
+        taker=taker_id,
         quality_subject=quality_subject,
         message_quality=message_quality,
         taker_quality=taker_quality,
         signed_at=now,
-        signature=b"",
+        signature=taker.provider.sign(taker.private_key, payload),
+        _payload=payload,
     )
-    por.__dict__["signature"] = taker.sign(por.payload())
     return por
 
 
@@ -125,6 +146,27 @@ def verify_proof_of_relay(
     if taker_cert.node_id != por.taker:
         return False
     return verifier.verify_peer(taker_cert, por.payload(), por.signature)
+
+
+def verify_proofs_of_relay(
+    verifier: NodeIdentity,
+    proofs: Sequence[Tuple[Certificate, ProofOfRelay]],
+) -> bool:
+    """Batch-check PoRs: True iff *every* ``(taker_cert, por)`` verifies.
+
+    The relay and test phases check PoRs at well-defined choke points
+    (all hand-offs of one offer; both proofs of one challenge), so the
+    per-proof checks collapse into a single
+    :meth:`~repro.crypto.keys.NodeIdentity.verify_peer_batch` call —
+    one provider round-trip instead of one per proof, with identical
+    accept/reject behavior and counter totals.
+    """
+    items = []
+    for taker_cert, por in proofs:
+        if taker_cert.node_id != por.taker:
+            return False
+        items.append((taker_cert, por.payload(), por.signature))
+    return verifier.verify_peer_batch(items)
 
 
 def make_quality_declaration(

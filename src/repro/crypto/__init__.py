@@ -12,9 +12,12 @@ all of it from scratch:
 * :mod:`repro.crypto.hashing` — ``H()``, HMAC, heavy HMAC.
 * :mod:`repro.crypto.keys` — identities, certificates, authority.
 * :mod:`repro.crypto.provider` — real vs fast simulated providers.
+* :mod:`repro.crypto.accounting` — the accounting-only provider tier.
+* :mod:`repro.crypto.tiers` — the name -> provider tier registry.
 * :mod:`repro.crypto.session` — pairwise authenticated sessions.
 """
 
+from .accounting import AccountingCryptoProvider
 from .dh import DhGroup, default_group, generate_group
 from .hashing import (
     DEFAULT_HEAVY_ITERATIONS,
@@ -30,6 +33,7 @@ from .provider import (
     SimulatedCryptoProvider,
 )
 from .rsa import RsaPrivateKey, RsaPublicKey, generate_keypair
+from .tiers import PROVIDER_TIERS, TIER_NAMES, make_provider
 from .schnorr import (
     SchnorrCryptoProvider,
     SchnorrError,
@@ -39,6 +43,7 @@ from .session import Session, SessionBroker, SessionError
 from .symmetric import AuthenticationError, SymmetricChannel
 
 __all__ = [
+    "AccountingCryptoProvider",
     "Authority",
     "AuthenticationError",
     "Certificate",
@@ -48,6 +53,7 @@ __all__ = [
     "DhGroup",
     "HeavyHmac",
     "NodeIdentity",
+    "PROVIDER_TIERS",
     "RealCryptoProvider",
     "RsaPrivateKey",
     "RsaPublicKey",
@@ -59,10 +65,12 @@ __all__ = [
     "SessionError",
     "SimulatedCryptoProvider",
     "SymmetricChannel",
+    "TIER_NAMES",
     "default_group",
     "digest",
     "generate_group",
     "generate_keypair",
     "hexdigest",
     "hmac_digest",
+    "make_provider",
 ]

@@ -21,7 +21,7 @@ runs over real RSA or the fast registry-backed simulation provider.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, Set, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Sequence, Set, Tuple
 
 from ..perf.counters import COUNTERS
 from .hashing import digest
@@ -163,6 +163,38 @@ class NodeIdentity:
                 return False
             self._validated_certs.add(cert_key)
         return self.provider.verify(cert.public_key, payload, signature)
+
+    def verify_peer_batch(
+        self, items: Sequence[Tuple[Certificate, bytes, bytes]]
+    ) -> bool:
+        """Batched :meth:`verify_peer`: all-or-nothing over ``items``.
+
+        Certificate chains validate first (one memoized check per
+        certificate, exactly as the per-item path), then every
+        signature goes to the provider in a single
+        :meth:`~repro.crypto.provider.CryptoProvider.verify_batch`
+        call.  Accept/reject behavior and counter totals match a loop
+        of ``verify_peer`` calls; only the per-item Python round-trips
+        through the identity and provider layers are batched away.
+        """
+        provider = self.provider
+        validated = self._validated_certs
+        batch = []
+        for cert, payload, signature in items:
+            cert_key = (cert.node_id, cert.fingerprint, cert.signature)
+            if cert_key in validated:
+                COUNTERS.cert_cache_hits += 1
+            else:
+                COUNTERS.cert_checks += 1
+                if not provider.verify(
+                    self.authority_public_key,
+                    _cert_payload(cert.node_id, cert.fingerprint),
+                    cert.signature,
+                ):
+                    return False
+                validated.add(cert_key)
+            batch.append((cert.public_key, payload, signature))
+        return provider.verify_batch(batch)
 
     def encrypt_for(self, cert: Certificate, plaintext: bytes) -> bytes:
         """Encrypt ``plaintext`` so only the certificate subject reads it."""

@@ -26,18 +26,22 @@ import itertools
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Sequence, Tuple
 
 from ..perf.counters import COUNTERS
 from . import rsa, symmetric
 from .dh import DhGroup, default_group
 from .hashing import (
+    HeavyHmac,
     PreparedHmacKey,
     constant_time_equal,
     digest,
     hmac_digest,
     prepare_hmac_key,
 )
+
+#: One batched verification item: ``(public_key, payload, signature)``.
+VerifyItem = Tuple[Any, bytes, bytes]
 
 
 class CryptoProvider(ABC):
@@ -59,6 +63,21 @@ class CryptoProvider(ABC):
     def verify(self, public_key: Any, payload: bytes, signature: bytes) -> bool:
         """Check a signature; must return False on any forgery."""
 
+    def verify_batch(self, items: Sequence[VerifyItem]) -> bool:
+        """Check a batch of signatures: True iff *every* item verifies.
+
+        The relay hot path collects the signature checks of one
+        handshake choke point and submits them together, so providers
+        can answer N checks in one call.  The base implementation
+        simply loops :meth:`verify` (stopping at the first failure,
+        like the per-item ``all(...)`` it replaces); fast providers
+        override it with a loop-hoisted variant.
+        """
+        return all(
+            self.verify(public_key, payload, signature)
+            for public_key, payload, signature in items
+        )
+
     @abstractmethod
     def encrypt(self, public_key: Any, plaintext: bytes) -> bytes:
         """Public-key (hybrid) encryption of arbitrary-length data."""
@@ -70,6 +89,16 @@ class CryptoProvider(ABC):
     @abstractmethod
     def new_session_key(self, rng: random.Random) -> bytes:
         """Derive a fresh pairwise session key (the DH handshake)."""
+
+    def heavy_hmac(self, iterations: int) -> HeavyHmac:
+        """Build the heavy MAC used by the storage challenge.
+
+        Providers that model crypto instead of computing it (the
+        accounting tier) override this with a token-valued variant
+        that still meters ``work_performed`` — the energy charge is
+        part of the model, the SHA-256 chain is not.
+        """
+        return HeavyHmac(iterations)
 
 
 class RealCryptoProvider(CryptoProvider):
@@ -221,7 +250,12 @@ class SimulatedCryptoProvider(CryptoProvider):
         COUNTERS.hmac_copies += 1
         key_id = private_key.key_id
         # Inlined hmac_digest fast path: one sign per relay hand-off.
-        state = self._signing_key(key_id).copy()
+        # The prepared-key lookup is inlined too — after the first
+        # sign per key it is a single dict hit.
+        prepared = self._signing_keys.get(key_id)
+        if prepared is None:
+            prepared = self._signing_key(key_id)
+        state = prepared.copy()
         state.update(payload)
         mac = state.digest()
         self._macs[(key_id, payload)] = mac
@@ -241,6 +275,38 @@ class SimulatedCryptoProvider(CryptoProvider):
         else:
             COUNTERS.mac_cache_hits += 1
         return constant_time_equal(expected, signature)
+
+    def verify_batch(self, items: Sequence[VerifyItem]) -> bool:
+        """Loop-hoisted batch verification over the MAC memo.
+
+        Behaves exactly like a loop of :meth:`verify` — same memo
+        reads/writes, same short-circuit on the first failure, same
+        counter totals — but resolves the memo and counters once per
+        batch instead of once per signature.
+        """
+        macs = self._macs
+        equal = constant_time_equal
+        checked = 0
+        hits = 0
+        ok = True
+        for public_key, payload, signature in items:
+            checked += 1
+            key_id = public_key.key_id
+            expected = macs.get((key_id, payload))
+            if expected is None:
+                if key_id not in self._secrets:
+                    ok = False
+                    break
+                expected = hmac_digest(self._signing_key(key_id), payload)
+                macs[(key_id, payload)] = expected
+            else:
+                hits += 1
+            if not equal(expected, signature):
+                ok = False
+                break
+        COUNTERS.verifications += checked
+        COUNTERS.mac_cache_hits += hits
+        return ok
 
     def encrypt(self, public_key: _SimPublicKey, plaintext: bytes) -> bytes:
         return symmetric.encrypt(

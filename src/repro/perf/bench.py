@@ -27,21 +27,28 @@ This module pulls in the whole experiment stack — import it lazily
 from __future__ import annotations
 
 import cProfile
+import hashlib
 import json
 import platform
+import random
 import sys
 import time
 import timeit
+from array import array
+from bisect import bisect_right
 from typing import Any, Dict, Optional
 
 from ..core.g2g_epidemic import G2GEpidemicForwarding
 from ..core.wire import ProofOfRelay
 from ..crypto.hashing import digest, hmac_digest, prepare_hmac_key
+from ..crypto.provider import SimulatedCryptoProvider
 from ..experiments.setting import evaluation_trace, standard_config
 from ..sim.engine import run_simulation
 from ..sim.messages import Message, StoredCopy
 from ..sim.node import NodeState
 from ..sim.results import SimulationResults
+from ..sim.serialize import results_to_dict
+from .compiled import compiled_modules
 from .counters import COUNTERS
 
 #: The single-run benchmark spec.
@@ -66,13 +73,38 @@ BASELINE: Dict[str, Any] = {
     },
 }
 
+#: Pre-batching reference: the tree as of the recorded commit (TTL
+#: timers on the scheduler, per-PoR verification, per-object relay
+#: index scans), re-measured on the *same container* as the current
+#: optimized numbers so the speedup compares like with like.  The
+#: earlier container that produced the 1.011 s figure in older
+#: reports was roughly twice as fast as this one — wall seconds only
+#: compare within one machine, which is why this block exists.
+#: Measured interleaved with the optimized tree (one best-of-4 batch
+#: each per round, alternating) so load drift hits both sides alike.
+SAME_MACHINE_BASELINE: Dict[str, Any] = {
+    "commit": "53d4030",
+    "wall_seconds_best": 2.110,
+    "wall_seconds_all": [3.329, 2.608, 2.235, 2.131, 2.236, 2.110],
+    "metrics": {
+        "success_rate": 0.702733,
+        "cost": 23.604214,
+        "total_energy": 2550.404531,
+    },
+}
+
 
 def run_single(
     trace_name: str = BENCH_TRACE,
     family: str = BENCH_FAMILY,
     seed: int = BENCH_SEED,
+    provider: Optional[str] = None,
 ):
     """One timed benchmark run.
+
+    Args:
+        provider: crypto provider tier name (None = the protocol's
+            default, the simulated tier).
 
     Returns:
         ``(elapsed_seconds, results, counter_diff)``.
@@ -81,9 +113,23 @@ def run_single(
     config = standard_config(trace_name, family, seed)
     before = COUNTERS.snapshot()
     start = time.perf_counter()
-    results = run_simulation(trace, G2GEpidemicForwarding(), config)
+    results = run_simulation(
+        trace, G2GEpidemicForwarding(provider=provider), config
+    )
     elapsed = time.perf_counter() - start
     return elapsed, results, COUNTERS.diff(before)
+
+
+def results_digest(results: SimulationResults) -> str:
+    """The determinism digest: sha256 of the canonical results JSON.
+
+    Same formula as the golden/determinism test suites — the digest
+    is what "bit-identical across tiers and builds" means.
+    """
+    payload = json.dumps(
+        results_to_dict(results), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def hotpath_benchmark(
@@ -92,6 +138,7 @@ def hotpath_benchmark(
     family: str = BENCH_FAMILY,
     seed: int = BENCH_SEED,
     profile: bool = True,
+    provider: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Time the single-run benchmark best-of-``repeats``.
 
@@ -104,10 +151,17 @@ def hotpath_benchmark(
     results: Optional[SimulationResults] = None
     counters: Dict[str, int] = {}
     for _ in range(max(1, repeats)):
-        elapsed, results, counters = run_single(trace_name, family, seed)
+        elapsed, results, counters = run_single(
+            trace_name, family, seed, provider
+        )
         times.append(elapsed)
     report: Dict[str, Any] = {
-        "spec": {"trace": trace_name, "family": family, "seed": seed},
+        "spec": {
+            "trace": trace_name,
+            "family": family,
+            "seed": seed,
+            "provider": provider or "simulated",
+        },
         "wall_seconds_best": round(min(times), 3),
         "wall_seconds_all": [round(t, 3) for t in times],
         "metrics": {
@@ -115,14 +169,97 @@ def hotpath_benchmark(
             "cost": round(results.cost, 6),
             "total_energy": round(results.total_energy, 6),
         },
+        "results_digest": results_digest(results),
         "counters": counters,
     }
     if profile:
         profiler = cProfile.Profile()
         start = time.perf_counter()
-        profiler.runcall(run_single, trace_name, family, seed)
+        profiler.runcall(run_single, trace_name, family, seed, provider)
         report["profiled_seconds"] = round(time.perf_counter() - start, 3)
     return report
+
+
+def tiers_benchmark(
+    repeats: int = 3,
+    trace_name: str = BENCH_TRACE,
+    family: str = BENCH_FAMILY,
+    seed: int = BENCH_SEED,
+    simulated: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Time the interpreted provider tiers on the benchmark spec.
+
+    The simulated and accounting tiers are measured *interleaved* —
+    one run of each per round, best-of-``repeats`` — so machine-load
+    drift hits both tiers equally instead of flattering whichever ran
+    first.  Their metrics and determinism digests are recorded side by
+    side, making the "identical results, different wall-clock"
+    contract checkable at a glance.  The real tier is never timed here
+    (minutes per run); pass ``provider="real"`` to :func:`run_single`
+    to measure it deliberately.  The compiled-build status of the hot
+    modules is recorded so numbers from a ``.[fast]`` wheel are
+    labelled as such.
+
+    Args:
+        simulated: an already-measured simulated-tier block (from
+            :func:`hotpath_benchmark`); its digest is cross-checked
+            against the freshly timed runs but its (earlier, possibly
+            differently loaded) timings are not reused.
+    """
+    evaluation_trace(trace_name)  # warm the lru-cached trace
+    tier_names = ("simulated", "accounting")
+    walls: Dict[str, list] = {tier: [] for tier in tier_names}
+    last_results: Dict[str, SimulationResults] = {}
+    for _ in range(max(1, repeats)):
+        for tier in tier_names:
+            elapsed, results, _ = run_single(
+                trace_name, family, seed, provider=tier
+            )
+            walls[tier].append(round(elapsed, 3))
+            last_results[tier] = results
+    tiers: Dict[str, Any] = {}
+    for tier in tier_names:
+        results = last_results[tier]
+        tiers[tier] = {
+            "wall_seconds_best": min(walls[tier]),
+            "wall_seconds_all": walls[tier],
+            "metrics": {
+                "success_rate": round(results.success_rate, 6),
+                "cost": round(results.cost, 6),
+                "total_energy": round(results.total_energy, 6),
+            },
+            "results_digest": results_digest(results),
+        }
+    if simulated is not None and "results_digest" in simulated:
+        tiers["simulated"]["matches_main_benchmark"] = (
+            simulated["results_digest"]
+            == tiers["simulated"]["results_digest"]
+        )
+    tiers["real"] = {
+        "status": "skipped",
+        "note": (
+            "from-scratch RSA keygen/sign: minutes per run; "
+            "run_single(provider='real') measures it on demand"
+        ),
+    }
+    compiled = compiled_modules()
+    tiers["compiled"] = {
+        "status": (
+            "compiled" if all(compiled.values()) else "pure-python"
+        ),
+        "modules": compiled,
+        "note": (
+            "build `pip install .[fast]` (REPRO_FAST=1) and re-run "
+            "`repro perf` to record compiled numbers; results are "
+            "bit-identical either way (CI's compiled-wheel job "
+            "asserts it)"
+        ),
+    }
+    tiers["identical_results"] = (
+        tiers["simulated"]["results_digest"]
+        == tiers["accounting"]["results_digest"]
+    )
+    return tiers
 
 
 def _best_ns(func, number: int, repeat: int = 5) -> float:
@@ -199,9 +336,78 @@ def microbench_buffer_scan(
     }
 
 
-def build_report(repeats: int = 5, profile: bool = True) -> Dict[str, Any]:
+def microbench_batch_verify(
+    batch: int = 16, number: int = 2_000
+) -> Dict[str, float]:
+    """Batched signature verification vs a per-signature loop.
+
+    Mirrors the ``_offer`` choke point: ``batch`` proofs signed by one
+    key, all hitting the MAC memo — the difference is pure call and
+    counter overhead, which is exactly what the collect-then-verify
+    change removed from the handshake.
+    """
+    provider = SimulatedCryptoProvider(random.Random(1))
+    private_key, public_key = provider.generate_keypair()
+    items = []
+    for i in range(batch):
+        payload = b"bench-por|%d" % i
+        items.append((public_key, payload, provider.sign(private_key, payload)))
+
+    def loop():
+        ok = True
+        for key, payload, signature in items:
+            ok = provider.verify(key, payload, signature) and ok
+        return ok
+
+    def batched():
+        return provider.verify_batch(items)
+
+    assert loop() and batched()
+    return {
+        "batch_size": batch,
+        "verify_loop_ns": round(_best_ns(loop, number), 1),
+        "verify_batched_ns": round(_best_ns(batched, number), 1),
+    }
+
+
+def microbench_expiry_index(
+    size: int = 64, number: int = 50_000
+) -> Dict[str, float]:
+    """Array-backed TTL-expiry probe vs a dict-backed full scan.
+
+    The steady-state case (nothing expired yet) that every
+    ``relay_candidates`` call pays: the sorted ``array('d')`` sidecar
+    answers it with one O(1) head probe, where the pre-overhaul
+    per-object index had to scan every entry's deadline.
+    """
+    expiries = [1000.0 + float(i) for i in range(size)]
+    times = array("d", expiries)
+    by_id = {i: expiry for i, expiry in enumerate(expiries)}
+    now = 500.0  # before every deadline: the common no-op sweep
+
+    def dict_scan():
+        return [mid for mid, expiry in by_id.items() if expiry <= now]
+
+    def array_probe():
+        if times and times[0] <= now:
+            return bisect_right(times, now)
+        return 0
+
+    assert dict_scan() == [] and array_probe() == 0
+    return {
+        "index_size": size,
+        "expiry_dict_scan_ns": round(_best_ns(dict_scan, number), 1),
+        "expiry_array_probe_ns": round(_best_ns(array_probe, number), 1),
+    }
+
+
+def build_report(
+    repeats: int = 5, profile: bool = True, provider: Optional[str] = None
+) -> Dict[str, Any]:
     """Assemble the full ``BENCH_hotpath.json`` payload."""
-    optimized = hotpath_benchmark(repeats=repeats, profile=profile)
+    optimized = hotpath_benchmark(
+        repeats=repeats, profile=profile, provider=provider
+    )
     report: Dict[str, Any] = {
         "benchmark": "relay-loop hot path",
         "environment": {
@@ -214,31 +420,48 @@ def build_report(repeats: int = 5, profile: bool = True) -> Dict[str, Any]:
             "statistic); profiled_seconds is one cProfile run, which "
             "inflates absolute time ~3-4x but ranks hotspots stably; "
             "counters are deterministic for the seed and comparable "
-            "across machines"
+            "across machines; speedup_wall_same_machine divides the "
+            "same-container re-measured pre-batching baseline by this "
+            "report's best (cross-machine wall comparisons are "
+            "meaningless — see same_machine_baseline)"
         ),
         "baseline": BASELINE,
+        "same_machine_baseline": SAME_MACHINE_BASELINE,
         "optimized": optimized,
         "speedup_wall": round(
             BASELINE["wall_seconds_best"] / optimized["wall_seconds_best"], 2
+        ),
+        "speedup_wall_same_machine": round(
+            SAME_MACHINE_BASELINE["wall_seconds_best"]
+            / optimized["wall_seconds_best"],
+            2,
         ),
     }
     if "profiled_seconds" in optimized:
         report["speedup_profiled"] = round(
             BASELINE["profiled_seconds"] / optimized["profiled_seconds"], 2
         )
+    report["tiers"] = tiers_benchmark(
+        repeats=max(2, repeats - 2), simulated=optimized
+    )
     report["microbenchmarks"] = {
         "encoding": microbench_encoding(),
         "hmac": microbench_hmac(),
         "buffer_scan": microbench_buffer_scan(),
+        "batch_verify": microbench_batch_verify(),
+        "expiry_index": microbench_expiry_index(),
     }
     return report
 
 
 def write_report(
-    path: str, repeats: int = 5, profile: bool = True
+    path: str,
+    repeats: int = 5,
+    profile: bool = True,
+    provider: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run the benchmark and write the JSON report to ``path``."""
-    report = build_report(repeats=repeats, profile=profile)
+    report = build_report(repeats=repeats, profile=profile, provider=provider)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=False)
         handle.write("\n")

@@ -1,0 +1,46 @@
+"""Detect whether the optional mypyc-compiled hot modules are active.
+
+``pip install .[fast]`` (with ``REPRO_FAST=1`` at build time) compiles
+the strict-typed hot modules to C extensions; without it the exact
+same source runs pure-Python.  Results are bit-identical either way —
+the compiled build only changes wall-clock — so the only runtime
+question is *which* build is in front of us.  This helper answers it
+by inspecting ``__file__``: a compiled module loads from a ``.so`` /
+``.pyd``, an interpreted one from ``.py``.
+
+Import-light on purpose: the benchmark report and the CI
+compiled-wheel job both call :func:`compiled_modules` to label their
+numbers, and the conformance tests use it to assert which build they
+exercised.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Dict, Tuple
+
+#: The modules the ``[fast]`` build compiles (see ``setup.py``).
+HOT_COMPILED_MODULES: Tuple[str, ...] = (
+    "repro.core.wire",
+    "repro.crypto.hashing",
+    "repro.sim.events",
+    "repro.sim.node",
+)
+
+#: Extension suffixes a compiled module loads from.
+_COMPILED_SUFFIXES = (".so", ".pyd")
+
+
+def compiled_modules() -> Dict[str, bool]:
+    """Map each hot module name to True iff its compiled form loaded."""
+    status: Dict[str, bool] = {}
+    for name in HOT_COMPILED_MODULES:
+        module = importlib.import_module(name)
+        origin = getattr(module, "__file__", "") or ""
+        status[name] = origin.endswith(_COMPILED_SUFFIXES)
+    return status
+
+
+def is_compiled_build() -> bool:
+    """True iff every hot module runs from its compiled form."""
+    return all(compiled_modules().values())

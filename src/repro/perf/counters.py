@@ -55,7 +55,11 @@ HOT_MODULE_COUNTERS: Dict[str, Tuple[str, ...]] = {
         "relay_entries", "relay_handoffs",
         "housekeeping_scans", "pending_scans",
     ),
+    "core/proofs.py": ("encodings",),
     "core/wire.py": ("encodings", "encoding_cache_hits"),
+    "crypto/accounting.py": (
+        "signatures", "verifications", "mac_cache_hits",
+    ),
     "crypto/hashing.py": ("hmac_prepares", "hmac_copies"),
     "crypto/keys.py": ("cert_checks", "cert_cache_hits"),
     "crypto/provider.py": (

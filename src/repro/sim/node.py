@@ -12,16 +12,23 @@ settles the buffer-size integral up to ``now``, then applies.
 
 Relay-eligible copies (body present, TTL not yet expired) are kept in
 a side index maintained by the same mutation helpers: an
-insertion-ordered dict of candidates pruned by TTL-expiry timers on
-the run scheduler (one registered per store, cancelled when the copy
-or its body goes away first).  ``live_copies``/``relay_candidates``
-read the index instead of re-filtering the whole buffer, which turns
-the per-contact offer scan from O(buffer) ``alive_at`` calls into a
-dict iteration — the single biggest win of the relay-loop overhaul.
+insertion-ordered dict of candidates plus a sorted expiry array (a
+stdlib ``array('d')`` of ``expires_at`` values with a parallel id
+list, maintained by ``bisect``).  ``live_copies`` /
+``relay_candidates`` compare ``now`` against the *earliest* expiry
+once and, in the common all-alive case, sweep the index without
+touching a single ``Message`` object; expired entries are compacted
+lazily at the first query that can observe them.  This replaces the
+per-copy TTL timers of the earlier design — the timers were pure
+compaction (results were identical with or without them firing), so
+dropping them removes one scheduler event per stored copy from the
+run without changing any observable output.
 """
 
 from __future__ import annotations
 
+from array import array
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set
 
@@ -29,12 +36,9 @@ from ..adversaries.base import HONEST, Strategy
 from ..crypto.keys import NodeIdentity
 from ..perf.counters import COUNTERS
 from ..traces.trace import NodeId
-from .events import Scheduler, TimerHandle
+from .events import Scheduler
 from .messages import StoredCopy
 from .results import SimulationResults
-
-#: Scheduler tag of the per-copy TTL-expiry timers.
-TTL_TIMER_TAG = "node.ttl"
 
 
 @dataclass
@@ -71,30 +75,30 @@ class NodeState:
     _buffer_bytes: int = 0
     _memory_clock: float = 0.0
     # Relay-candidate index: insertion-ordered copies whose body is
-    # present and whose TTL has not yet been found expired.  Pruned by
-    # per-copy TTL timers on the run scheduler; queries additionally
-    # filter on ``expires_at`` so the index never needs to be exact.
-    # Maintained by store/drop/drop_body/flush; excluded from equality
-    # so two nodes with identical buffers compare equal regardless of
-    # scan history.
+    # present and whose TTL has not yet been found expired.  The
+    # sorted expiry sidecar (`_expiry_times` ascending, `_expiry_ids`
+    # parallel) lets queries detect "nothing here is expired" in O(1)
+    # and compact the stale tail in O(expired).  Maintained by
+    # store/drop/drop_body/flush; excluded from equality so two nodes
+    # with identical buffers compare equal regardless of scan history.
     _relayable: Dict[int, StoredCopy] = field(
         default_factory=dict, repr=False, compare=False
     )
-    _scheduler: Optional[Scheduler] = field(
-        default=None, repr=False, compare=False
+    _expiry_times: array = field(
+        default_factory=lambda: array("d"), repr=False, compare=False
     )
-    _ttl_handles: Dict[int, TimerHandle] = field(
-        default_factory=dict, repr=False, compare=False
+    _expiry_ids: List[int] = field(
+        default_factory=list, repr=False, compare=False
     )
 
     def attach_scheduler(self, scheduler: Scheduler) -> None:
-        """Wire the run scheduler in (engine setup).
+        """Engine-setup hook, kept for call-site compatibility.
 
-        Without one (hand-built node states in unit tests) the node
-        simply schedules no TTL timers; the query-time ``expires_at``
-        filter alone keeps the candidate scans correct.
+        The TTL index is self-contained (a sorted expiry array swept
+        at query time), so nodes no longer register per-copy timers on
+        the run scheduler — this is now a no-op for every caller,
+        engine-driven or hand-built.
         """
-        self._scheduler = scheduler
 
     @property
     def participating(self) -> bool:
@@ -105,11 +109,10 @@ class NodeState:
         """Churn out of the network: drop the buffer, go dark.
 
         The buffered relays are lost (their memory integral settles up
-        to ``now`` and their TTL timers are cancelled through
-        :meth:`flush`, so the relay-candidate index and the scheduler
-        stay consistent).  ``seen`` survives — the node still remembers
+        to ``now`` and the TTL-expiry index is cleared through
+        :meth:`flush`).  ``seen`` survives — the node still remembers
         what it handled, exactly as a real device would across a
-        power cycle — and so do the Δ2 purge timers the protocol
+        power cycle — and so do the Δ2 purge deadlines the protocol
         registered, which simply find nothing left to purge.
         """
         if self.departed:
@@ -160,12 +163,10 @@ class NodeState:
         self._buffer_bytes += copy.message.size_bytes
         if not copy.body_dropped:
             self._relayable[msg_id] = copy
-            if self._scheduler is not None:
-                handle = self._scheduler.schedule(
-                    copy.message.expires_at, TTL_TIMER_TAG, msg_id, owner=self
-                )
-                if not handle.cancelled:  # expiry within the horizon
-                    self._ttl_handles[msg_id] = handle
+            expires_at = copy.message.expires_at
+            index = bisect_right(self._expiry_times, expires_at)
+            self._expiry_times.insert(index, expires_at)
+            self._expiry_ids.insert(index, msg_id)
         return copy
 
     def drop(
@@ -178,8 +179,8 @@ class NodeState:
             self._buffer_bytes -= (
                 0 if copy.body_dropped else copy.message.size_bytes
             )
-            self._relayable.pop(msg_id, None)
-            self._cancel_ttl_timer(msg_id)
+            if self._relayable.pop(msg_id, None) is not None:
+                self._index_discard(msg_id, copy.message.expires_at)
         return copy
 
     def drop_body(
@@ -196,8 +197,8 @@ class NodeState:
         self._settle_memory(now, results)
         copy.body_dropped = True
         self._buffer_bytes -= copy.message.size_bytes
-        self._relayable.pop(msg_id, None)
-        self._cancel_ttl_timer(msg_id)
+        if self._relayable.pop(msg_id, None) is not None:
+            self._index_discard(msg_id, copy.message.expires_at)
 
     def flush(self, now: float, results: SimulationResults) -> None:
         """Settle accounting and clear the buffer (eviction/run end)."""
@@ -205,34 +206,39 @@ class NodeState:
         self.buffer.clear()
         self._buffer_bytes = 0
         self._relayable.clear()
-        if self._ttl_handles:
-            scheduler = self._scheduler
-            if scheduler is not None:
-                for handle in self._ttl_handles.values():
-                    scheduler.cancel(handle)
-            self._ttl_handles.clear()
+        del self._expiry_times[:]
+        self._expiry_ids.clear()
 
     # -- relay-candidate index -----------------------------------------
 
-    def _cancel_ttl_timer(self, msg_id: int) -> None:
-        """Retire the TTL timer of a copy leaving the index early."""
-        handle = self._ttl_handles.pop(msg_id, None)
-        if handle is not None and self._scheduler is not None:
-            self._scheduler.cancel(handle)
+    def _index_discard(self, msg_id: int, expires_at: float) -> None:
+        """Remove one entry from the sorted expiry sidecar."""
+        times = self._expiry_times
+        ids = self._expiry_ids
+        index = bisect_left(times, expires_at)
+        end = len(times)
+        while index < end:
+            if ids[index] == msg_id:
+                del times[index]
+                del ids[index]
+                return
+            index += 1
 
-    def on_timer(self, tag: str, payload: Any, now: float) -> None:
-        """TTL-expiry dispatch: prune the copy from the index.
+    def _compact_expired(self, now: float) -> None:
+        """Drop every index entry whose TTL has passed (``<= now``).
 
-        ``TIMER`` events sort after contacts at the same instant, and
-        the query-time filter below already treats ``expires_at <=
-        now`` as dead, so pruning here is pure compaction — results
-        are identical with or without the timer firing (which is what
-        keeps scheduler-less unit-test nodes correct).
+        Query-time compaction: callers invoke this only after the O(1)
+        earliest-expiry check says something actually expired, so the
+        sweep is O(expired) amortized, never O(buffer) per scan.
         """
-        self._ttl_handles.pop(payload, None)
-        copy = self._relayable.get(payload)
-        if copy is not None and copy.message.expires_at <= now:
-            del self._relayable[payload]
+        times = self._expiry_times
+        count = bisect_right(times, now)
+        relayable = self._relayable
+        ids = self._expiry_ids
+        for msg_id in ids[:count]:
+            relayable.pop(msg_id, None)
+        del times[:count]
+        del ids[:count]
 
     def live_copies(self, now: float) -> List[StoredCopy]:
         """Copies of messages still within their TTL, as a list.
@@ -242,11 +248,10 @@ class NodeState:
         the pre-index full-buffer filter produced.
         """
         COUNTERS.buffer_scans += 1
-        live = [
-            copy
-            for copy in self._relayable.values()
-            if copy.message.expires_at > now
-        ]
+        times = self._expiry_times
+        if times and times[0] <= now:
+            self._compact_expired(now)
+        live = list(self._relayable.values())
         COUNTERS.buffer_scanned += len(live)
         return live
 
@@ -258,16 +263,18 @@ class NodeState:
         The per-pair offer scan: ``exclude`` is the taker's ``seen``
         set, so the relay phase is only entered for messages the taker
         would actually accept (step 1's "have you handled H(m)?"
-        answered in bulk, before any signing work).
+        answered in bulk, before any signing work).  The expired tail
+        is compacted first, so the sweep itself is a pure dict
+        iteration — no per-entry ``expires_at`` reads.
         """
         COUNTERS.buffer_scans += 1
-        scanned = 0
-        out = []
-        for msg_id, copy in self._relayable.items():
-            if copy.message.expires_at <= now:
-                continue  # expired, timer not yet dispatched
-            scanned += 1
-            if msg_id not in exclude:
-                out.append(copy)
-        COUNTERS.buffer_scanned += scanned
-        return out
+        times = self._expiry_times
+        if times and times[0] <= now:
+            self._compact_expired(now)
+        relayable = self._relayable
+        COUNTERS.buffer_scanned += len(relayable)
+        return [
+            copy
+            for msg_id, copy in relayable.items()
+            if msg_id not in exclude
+        ]

@@ -60,13 +60,30 @@ SpanToken = Tuple[int, int, int, int, float]
 
 
 class SpanAggregate:
-    """Folded statistics for every execution of one span name."""
+    """Folded statistics for every execution of one span name.
 
-    __slots__ = ("count", "ops", "first_time", "last_time")
+    Op deltas live in one plain int slot per field (not a dict): the
+    recorder closes ~44k spans per cambridge06 run, and four dict
+    lookups per close were measurable on the hot path.  ``snapshot``
+    rebuilds the documented ``ops`` mapping.
+    """
+
+    __slots__ = (
+        "count",
+        "signatures",
+        "verifications",
+        "encodings",
+        "hmac_copies",
+        "first_time",
+        "last_time",
+    )
 
     def __init__(self) -> None:
         self.count = 0
-        self.ops: Dict[str, int] = {field: 0 for field in SPAN_OP_FIELDS}
+        self.signatures = 0
+        self.verifications = 0
+        self.encodings = 0
+        self.hmac_copies = 0
         self.first_time = 0.0
         self.last_time = 0.0
 
@@ -96,10 +113,10 @@ class SpanRecorder:
             aggregate = self._spans[name] = SpanAggregate()
             aggregate.first_time = token[4]
         aggregate.count += 1
-        aggregate.ops["signatures"] += COUNTERS.signatures - token[0]
-        aggregate.ops["verifications"] += COUNTERS.verifications - token[1]
-        aggregate.ops["encodings"] += COUNTERS.encodings - token[2]
-        aggregate.ops["hmac_copies"] += COUNTERS.hmac_copies - token[3]
+        aggregate.signatures += COUNTERS.signatures - token[0]
+        aggregate.verifications += COUNTERS.verifications - token[1]
+        aggregate.encodings += COUNTERS.encodings - token[2]
+        aggregate.hmac_copies += COUNTERS.hmac_copies - token[3]
         if token[4] < aggregate.first_time:
             aggregate.first_time = token[4]
         if now > aggregate.last_time:
@@ -112,7 +129,8 @@ class SpanRecorder:
             name: {
                 "count": aggregate.count,
                 "ops": {
-                    field: aggregate.ops[field] for field in SPAN_OP_FIELDS
+                    field: getattr(aggregate, field)
+                    for field in SPAN_OP_FIELDS
                 },
                 "first_time": aggregate.first_time,
                 "last_time": aggregate.last_time,

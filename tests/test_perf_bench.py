@@ -29,6 +29,21 @@ class TestMicrobenchmarks:
         assert out["scan_naive_ns"] > 0
         assert out["scan_indexed_ns"] > 0
 
+    def test_batch_verify(self):
+        # microbench_batch_verify asserts internally that both paths
+        # accept the whole batch.
+        out = bench.microbench_batch_verify(batch=8, number=20)
+        assert out["verify_loop_ns"] > 0
+        assert out["verify_batched_ns"] > 0
+
+    def test_expiry_index(self):
+        out = bench.microbench_expiry_index(size=16, number=50)
+        assert out["expiry_dict_scan_ns"] > 0
+        assert out["expiry_array_probe_ns"] > 0
+        # The point of the sorted-array sidecar: the steady-state
+        # probe must not scale with the buffer, the dict scan does.
+        assert out["expiry_array_probe_ns"] < out["expiry_dict_scan_ns"]
+
 
 class TestHotpathBenchmark:
     def test_single_run_smoke(self):
@@ -51,9 +66,22 @@ class TestHotpathBenchmark:
         # The acceptance gate of the overhaul: the optimized benchmark
         # run must reproduce the pre-overhaul metrics bit-for-bit.
         assert on_disk["optimized"]["metrics"] == bench.BASELINE["metrics"]
+        assert (
+            on_disk["optimized"]["metrics"]
+            == bench.SAME_MACHINE_BASELINE["metrics"]
+        )
+        assert on_disk["speedup_wall_same_machine"] > 0
         assert set(on_disk["microbenchmarks"]) == {
-            "encoding", "hmac", "buffer_scan"
+            "encoding", "hmac", "buffer_scan", "batch_verify",
+            "expiry_index",
         }
+        # The tiers block: interpreted tiers measured and digest-equal,
+        # the real tier deliberately skipped, the build labelled.
+        tiers = on_disk["tiers"]
+        assert tiers["identical_results"] is True
+        assert tiers["simulated"]["metrics"] == tiers["accounting"]["metrics"]
+        assert tiers["real"]["status"] == "skipped"
+        assert tiers["compiled"]["status"] in ("compiled", "pure-python")
 
 
 class TestCli:
@@ -63,11 +91,14 @@ class TestCli:
         assert args.out == "BENCH_hotpath.json"
         assert args.repeats == 5
         assert not args.no_profile
+        assert args.provider is None
 
     def test_perf_flags(self):
         args = build_parser().parse_args(
-            ["perf", "--out", "x.json", "--repeats", "2", "--no-profile"]
+            ["perf", "--out", "x.json", "--repeats", "2", "--no-profile",
+             "--provider", "accounting"]
         )
         assert args.out == "x.json"
         assert args.repeats == 2
         assert args.no_profile
+        assert args.provider == "accounting"

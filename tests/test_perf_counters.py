@@ -31,6 +31,19 @@ BUDGET = {
     "buffer_scanned": 4622,
 }
 
+#: Exact totals for the signature path of the budget run.  Pinned
+#: with ``==`` (not ``<=``): the collect-then-verify batching at the
+#: handshake choke points must fold counter *bumps*, never change the
+#: *count* of signatures checked — a drop here means verifications
+#: were skipped, an increase means the batching re-verifies.
+BATCHED_VERIFY_PINS = {
+    "signatures": 954,
+    "verifications": 1080,
+    "mac_cache_hits": 1080,
+    "cert_checks": 84,
+    "cert_cache_hits": 912,
+}
+
 
 @pytest.fixture
 def budget_run(mini_synthetic, quick_config):
@@ -105,6 +118,30 @@ class TestHotPathBudgets:
         diff, _ = budget_run
         assert diff["buffer_scans"] <= BUDGET["buffer_scans"]
         assert diff["buffer_scanned"] <= BUDGET["buffer_scanned"]
+
+    def test_batched_verify_counter_totals(self, budget_run):
+        diff, _ = budget_run
+        for field, expected in BATCHED_VERIFY_PINS.items():
+            assert diff[field] == expected, field
+
+    def test_accounting_tier_matches_verify_pins(
+        self, mini_synthetic, quick_config
+    ):
+        # The accounting tier does zero real hashing but must count
+        # the exact same signature-path operations as the simulated
+        # tier on the same run.
+        before = COUNTERS.snapshot()
+        Simulation(
+            mini_synthetic.trace,
+            G2GEpidemicForwarding(provider="accounting"),
+            quick_config,
+        ).run()
+        diff = COUNTERS.diff(before)
+        for field, expected in BATCHED_VERIFY_PINS.items():
+            assert diff[field] == expected, field
+        # What the tier removes is the real HMAC work, and only that.
+        assert diff["hmac_copies"] == 0
+        assert diff["relay_entries"] == BUDGET["relay_entries"]
 
     def test_run_still_delivers(self, budget_run):
         _, results = budget_run

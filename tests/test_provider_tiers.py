@@ -1,0 +1,176 @@
+"""Conformance suite for the crypto provider tiers.
+
+The contract: the provider tier changes *wall-clock*, never *results*.
+Real (from-scratch RSA), simulated (HMAC-backed registry), and
+accounting (token signatures, zero hashing) must produce bit-identical
+:class:`SimulationResults` — same success rate, cost, energy ledger,
+detections, evictions — on the golden specs.  G2G's equilibrium
+argument depends on what is verified, not on how the verification is
+computed, so any digest divergence here means a tier leaked into the
+simulation's observable behavior.
+
+The real tier runs with small (384-bit) keys and its own seeded RNG to
+stay test-sized; that is itself part of the contract under test —
+results must be insensitive to how much randomness the crypto layer
+consumes, because the provider draws from a stream the simulation
+never reads for protocol decisions.
+"""
+
+import random
+
+import pytest
+
+from repro import api
+from repro.core import G2GEpidemicForwarding
+from repro.crypto import (
+    AccountingCryptoProvider,
+    PROVIDER_TIERS,
+    RealCryptoProvider,
+    TIER_NAMES,
+    make_provider,
+)
+from repro.perf.compiled import compiled_modules
+from tests.test_determinism_seeds import QUICK, results_digest
+
+#: Golden specs: both evaluation traces, shortened (QUICK) so the
+#: cross-tier matrix stays test-sized while exercising generation,
+#: relay, proofs, detection, and Δ2 purges.
+GOLDEN_SPECS = ("cambridge06", "infocom05")
+
+
+def run_tier(trace_name, provider, *, seed=1, **kwargs):
+    return api.run(
+        trace_name,
+        G2GEpidemicForwarding(provider=provider),
+        dict(QUICK),
+        seed=seed,
+        **kwargs,
+    )
+
+
+def metrics_of(results):
+    return (
+        round(results.success_rate, 9),
+        round(results.cost, 9),
+        round(results.total_energy, 9),
+        sorted((d.offender, d.msg_id, d.deviation) for d in results.detections),
+    )
+
+
+class TestTierRegistry:
+    def test_tier_names_cover_the_registry(self):
+        assert set(TIER_NAMES) == set(PROVIDER_TIERS)
+        assert TIER_NAMES == ("real", "simulated", "accounting")
+
+    def test_make_provider_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="unknown crypto provider tier"):
+            make_provider("quantum")
+
+    def test_make_provider_builds_each_tier(self):
+        for name in ("simulated", "accounting"):
+            provider = make_provider(name, random.Random(1))
+            private_key, public_key = provider.generate_keypair()
+            payload = b"tier-check"
+            assert provider.verify(
+                public_key, payload, provider.sign(private_key, payload)
+            )
+
+
+class TestGoldenSpecConformance:
+    @pytest.mark.parametrize("trace_name", GOLDEN_SPECS)
+    def test_accounting_matches_simulated(self, trace_name):
+        simulated = run_tier(trace_name, "simulated")
+        accounting = run_tier(trace_name, "accounting")
+        assert metrics_of(simulated) == metrics_of(accounting)
+        assert results_digest(simulated) == results_digest(accounting)
+
+    @pytest.mark.parametrize("trace_name", GOLDEN_SPECS)
+    def test_real_matches_simulated(self, trace_name):
+        # A provider instance with its own RNG: the run must not care
+        # how much (or whether) the crypto layer draws randomness.
+        real = run_tier(
+            trace_name,
+            RealCryptoProvider(key_bits=384, rng=random.Random(99)),
+        )
+        simulated = run_tier(trace_name, "simulated")
+        assert metrics_of(real) == metrics_of(simulated)
+        assert results_digest(real) == results_digest(simulated)
+
+    def test_adversarial_detections_match_across_tiers(self):
+        kwargs = dict(mix={"dropper": 0.2})
+        simulated = run_tier("cambridge06", "simulated", **kwargs)
+        accounting = run_tier("cambridge06", "accounting", **kwargs)
+        assert simulated.detections  # the spec must actually convict
+        assert metrics_of(simulated) == metrics_of(accounting)
+        assert simulated.evicted_at == accounting.evicted_at
+        assert results_digest(simulated) == results_digest(accounting)
+
+
+class TestScenarioParityAcrossTiers:
+    def test_depleted_energy_behavior_matches(self):
+        # A budget small enough that nodes deplete mid-run: depletion
+        # ordering depends on the energy ledger, which the accounting
+        # tier must charge identically despite doing no real crypto.
+        kwargs = dict(energy_budgets=("constant", 40.0))
+        simulated = run_tier("cambridge06", "simulated", **kwargs)
+        accounting = run_tier("cambridge06", "accounting", **kwargs)
+        assert metrics_of(simulated) == metrics_of(accounting)
+        assert results_digest(simulated) == results_digest(accounting)
+
+    def test_eviction_behavior_matches_with_churn(self):
+        kwargs = dict(
+            mix={"dropper": 0.2},
+            churn=[(0.2, 600.0, 1200.0)],
+        )
+        simulated = run_tier("cambridge06", "simulated", **kwargs)
+        accounting = run_tier("cambridge06", "accounting", **kwargs)
+        assert simulated.evicted_at == accounting.evicted_at
+        assert results_digest(simulated) == results_digest(accounting)
+
+
+class TestSelectionSurfaces:
+    def test_api_run_accepts_provider_instances(self):
+        provider = AccountingCryptoProvider(random.Random(3))
+        results = run_tier("cambridge06", provider)
+        assert results.generated > 0
+
+    def test_api_run_rejects_provider_for_plain_epidemic(self):
+        with pytest.raises(ValueError, match="does not take a crypto"):
+            api.run(
+                "cambridge06", "epidemic", dict(QUICK), seed=1,
+                provider="accounting",
+            )
+
+    def test_use_provider_refuses_rebind(self):
+        protocol = G2GEpidemicForwarding()
+        api.run("cambridge06", protocol, dict(QUICK), seed=1)
+        with pytest.raises(RuntimeError, match="before bind"):
+            protocol.use_provider("accounting")
+
+    def test_cli_provider_flag_is_wired(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["simulate", "--provider", "accounting"]
+        )
+        assert args.provider == "accounting"
+        args = build_parser().parse_args(["perf", "--provider", "simulated"])
+        assert args.provider == "simulated"
+
+
+class TestBuildDetection:
+    def test_compiled_modules_reports_the_hot_set(self):
+        status = compiled_modules()
+        assert set(status) == {
+            "repro.core.wire",
+            "repro.crypto.hashing",
+            "repro.sim.events",
+            "repro.sim.node",
+        }
+        # In the default (pure-Python) build nothing is compiled; the
+        # CI compiled-wheel job flips REPRO_EXPECT_COMPILED=1 and runs
+        # this same suite against the .[fast] wheel.
+        import os
+
+        if os.environ.get("REPRO_EXPECT_COMPILED") == "1":
+            assert all(status.values()), status

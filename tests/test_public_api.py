@@ -82,6 +82,7 @@ class TestFacadeSurface:
             "community",
             "blacklist",
             "telemetry",
+            "provider",
         ]
         # Everything after config is keyword-only: the facade can grow
         # without positional-argument breakage.

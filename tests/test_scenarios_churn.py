@@ -76,14 +76,16 @@ class TestDepartRejoin:
         node.attach_scheduler(scheduler)
         node.store(_stored(1), 0.0, results)
         node.store(_stored(2), 0.0, results)
-        assert node._ttl_handles and node._relayable
+        assert node._relayable and len(node._expiry_times) == 2
         node.depart(100.0, results)
         assert node.departed and not node.participating
         assert node.buffer == {}
         assert node._relayable == {}
-        assert node._ttl_handles == {}
-        # The cancelled TTL timers must dispatch as no-ops, not corrupt
-        # anything (lazy deletion on the scheduler).
+        # The TTL-expiry index (the sorted array that replaced the
+        # per-copy scheduler timers) must clear with the buffer.
+        assert len(node._expiry_times) == 0 and node._expiry_ids == []
+        # The node registers nothing on the scheduler, so a later
+        # drain has nothing to corrupt.
         scheduler.dispatch_until(1200.0)
         assert node.buffer == {} and node._relayable == {}
 
