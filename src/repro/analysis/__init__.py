@@ -4,9 +4,14 @@ The simulator's headline claims — bit-identical trace-driven runs per
 seed, immutable signed wire artifacts, honest op-count budgets — are
 *invariants*, and the test suite can only spot-check them dynamically.
 This package enforces them statically with a small AST lint framework
-(:mod:`repro.analysis.framework`), seven repo-specific rules
-(:mod:`repro.analysis.rules`, ids ``G2G001``–``G2G007``), and a runner
-(:mod:`repro.analysis.runner`) behind the ``repro lint`` CLI command.
+(:mod:`repro.analysis.framework`), seven single-file rules
+(:mod:`repro.analysis.rules`, ids ``G2G001``–``G2G007``), a
+whole-program model with five cross-module flow rules
+(:mod:`repro.analysis.project` / :mod:`repro.analysis.flow_rules`,
+ids ``G2G008``–``G2G012``, behind ``repro lint --project``), and a
+runner (:mod:`repro.analysis.runner`) with an incremental content-hash
+cache, multiprocess fan-out, baseline files, and text/JSON/SARIF
+output — all behind the ``repro lint`` CLI command.
 
 Rules are suppressed per line with pragma comments::
 
@@ -23,18 +28,34 @@ from .framework import (
     Violation,
     register_rule,
 )
-from .runner import lint_paths, lint_source, render_report
+from .project import (
+    PROJECT_RULE_REGISTRY,
+    ProjectModel,
+    ProjectRule,
+    check_project,
+    module_facts,
+    register_project_rule,
+)
+from .runner import LintRun, lint_paths, lint_source, lint_tree, render_report
 
-# Importing the rules module populates RULE_REGISTRY.
+# Importing the rule modules populates the registries.
 from . import rules as _rules  # noqa: F401  (import for side effect)
+from . import flow_rules as _flow_rules  # noqa: F401  (same)
 
 __all__ = [
     "LintModule",
+    "LintRun",
+    "ProjectModel",
+    "ProjectRule",
+    "PROJECT_RULE_REGISTRY",
     "Rule",
     "RULE_REGISTRY",
     "Violation",
+    "check_project",
     "lint_paths",
     "lint_source",
-    "register_rule",
+    "lint_tree",
+    "module_facts",
+    "register_project_rule",
     "render_report",
 ]

@@ -1,0 +1,84 @@
+"""Lint baselines: accept existing findings, block new ones.
+
+A baseline is a checked-in JSON file mapping finding *fingerprints* to
+counts.  ``repro lint --baseline FILE`` subtracts baselined findings
+from the report, so introducing the analyzer (or a new rule) to a tree
+with pre-existing findings does not block CI — only *new* findings
+fail the build.  ``--update-baseline`` rewrites the file from the
+current findings, which is how accepted debt is recorded and how fixed
+findings leave the file (shrinking baselines are progress; growing
+ones are review territory).
+
+Fingerprints hash ``rule_id | package-relative-ish path | message``
+and deliberately exclude line numbers: unrelated edits that shift a
+finding by a few lines must not resurrect it as "new".  Identical
+findings (same fingerprint) are counted — a baseline entry of 2 admits
+two occurrences, and a third is reported.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from .framework import Violation, package_relative
+
+_BASELINE_VERSION = 1
+
+
+def fingerprint(violation: Violation) -> str:
+    """Stable 16-hex-digit id for one finding, line-number-free."""
+    rel = package_relative(Path(violation.path)) or violation.path
+    payload = f"{violation.rule_id}|{rel}|{violation.message}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Fingerprint -> admitted count.  A missing file admits nothing."""
+    if not path.exists():
+        return {}
+    doc = json.loads(path.read_text())
+    entries = doc.get("entries", {})
+    return {str(fp): int(count) for fp, count in entries.items()}
+
+
+def write_baseline(path: Path, violations: Sequence[Violation]) -> int:
+    """Record the given findings as the new baseline; returns count."""
+    counts: Dict[str, int] = {}
+    samples: Dict[str, str] = {}
+    for v in violations:
+        fp = fingerprint(v)
+        counts[fp] = counts.get(fp, 0) + 1
+        # One rendered sample per fingerprint keeps the file reviewable.
+        samples.setdefault(fp, v.render())
+    doc = {
+        "version": _BASELINE_VERSION,
+        "entries": dict(sorted(counts.items())),
+        "samples": dict(sorted(samples.items())),
+    }
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return len(violations)
+
+
+def apply_baseline(
+    violations: Sequence[Violation], baseline: Dict[str, int]
+) -> Tuple[List[Violation], int]:
+    """Split findings into (new, suppressed-count) against a baseline.
+
+    Counted semantics: each fingerprint absorbs at most its admitted
+    count, in report order, so a duplicated finding beyond the admitted
+    multiplicity still surfaces.
+    """
+    budget = dict(baseline)
+    fresh: List[Violation] = []
+    suppressed = 0
+    for v in violations:
+        fp = fingerprint(v)
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+            suppressed += 1
+        else:
+            fresh.append(v)
+    return fresh, suppressed

@@ -33,8 +33,11 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Type
 #: Every registered rule class, keyed by rule id (``G2G001`` …).
 RULE_REGISTRY: Dict[str, Type["Rule"]] = {}
 
+#: The body runs greedily to the *last* closing paren on the line, so
+#: a justification may itself contain parens, e.g.
+#: ``# g2g: allow(G2G002: fallback (rare) path)``.
 _PRAGMA = re.compile(
-    r"#\s*g2g:\s*allow(?P<broad>-broad-except)?\s*\((?P<body>[^)]*)\)"
+    r"#\s*g2g:\s*allow(?P<broad>-broad-except)?\s*\((?P<body>.*)\)"
 )
 _RULE_ID = re.compile(r"G2G\d{3}")
 

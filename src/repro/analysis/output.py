@@ -1,0 +1,156 @@
+"""Report renderers: text, JSON, and SARIF 2.1.0.
+
+Text is for humans at a terminal (``path:line:col: RULEID message``
+lines plus a summary).  JSON is the same data machine-readable, for ad
+hoc scripting against lint results.  SARIF 2.1.0 is the interchange
+format GitHub code scanning ingests — the CI static-analysis job
+uploads it so findings annotate pull requests inline.
+
+All three renderers consume plain :class:`~repro.analysis.framework.
+Violation` sequences; they know nothing about how the violations were
+produced (single-file rules, project rules, cached, parallel).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Type
+
+from .framework import RULE_REGISTRY, Rule, Violation
+from .project import PROJECT_RULE_REGISTRY
+from .runner import render_report
+
+#: The formats ``repro lint --format`` accepts.
+FORMATS = ("text", "json", "sarif")
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemas/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_summary(rule_id: str) -> str:
+    registry: Dict[str, Type[Rule]] = {}
+    registry.update(RULE_REGISTRY)
+    registry.update(PROJECT_RULE_REGISTRY)
+    cls = registry.get(rule_id)
+    if cls is None:
+        # E999 (syntax error) and future diagnostics without a rule class.
+        return "file does not parse"
+    return " ".join(cls.summary.split())
+
+
+def render_text(violations: Sequence[Violation]) -> str:
+    """The classic terminal report (delegates to ``render_report``)."""
+    return render_report(violations)
+
+
+def render_json(violations: Sequence[Violation]) -> str:
+    """One JSON document: violation list plus per-rule counts."""
+    by_rule: Dict[str, int] = {}
+    for v in violations:
+        by_rule[v.rule_id] = by_rule.get(v.rule_id, 0) + 1
+    doc = {
+        "violations": [
+            {
+                "rule_id": v.rule_id,
+                "path": v.path,
+                "line": v.line,
+                "column": v.column,
+                "message": v.message,
+            }
+            for v in violations
+        ],
+        "counts": dict(sorted(by_rule.items())),
+        "total": len(violations),
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def render_sarif(
+    violations: Sequence[Violation],
+    tool_version: Optional[str] = None,
+) -> str:
+    """A SARIF 2.1.0 log with one run and one result per violation.
+
+    Rule metadata (id + one-line summary) is emitted for every rule
+    that appears in the results, so code-scanning UIs can group and
+    describe findings without access to this repository's docs.
+    """
+    seen_rules: List[str] = []
+    for v in violations:
+        if v.rule_id not in seen_rules:
+            seen_rules.append(v.rule_id)
+    seen_rules.sort()
+    rule_index = {rule_id: i for i, rule_id in enumerate(seen_rules)}
+
+    results = [
+        {
+            "ruleId": v.rule_id,
+            "ruleIndex": rule_index[v.rule_id],
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": v.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": v.line,
+                            "startColumn": max(v.column, 1),
+                        },
+                    }
+                }
+            ],
+        }
+        for v in violations
+    ]
+
+    driver = {
+        "name": "repro-lint",
+        "informationUri": (
+            "https://example.invalid/repro/docs/development.md"
+        ),
+        "rules": [
+            {
+                "id": rule_id,
+                "shortDescription": {"text": _rule_summary(rule_id)},
+                "defaultConfiguration": {"level": "error"},
+            }
+            for rule_id in seen_rules
+        ],
+    }
+    if tool_version is not None:
+        driver["version"] = tool_version
+
+    log = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {"driver": driver},
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True) + "\n"
+
+
+def render(
+    violations: Sequence[Violation],
+    fmt: str,
+    tool_version: Optional[str] = None,
+) -> str:
+    """Dispatch on ``fmt`` (one of :data:`FORMATS`)."""
+    if fmt == "text":
+        return render_text(violations)
+    if fmt == "json":
+        return render_json(violations)
+    if fmt == "sarif":
+        return render_sarif(violations, tool_version=tool_version)
+    raise ValueError(
+        f"unknown format {fmt!r}; expected one of {', '.join(FORMATS)}"
+    )

@@ -237,6 +237,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
+    lint.add_argument(
+        "--project", action="store_true",
+        help="also run the whole-program flow rules (G2G008-G2G012)",
+    )
+    lint.add_argument(
+        "--format", default="text", choices=["text", "json", "sarif"],
+        dest="fmt", help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    lint.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="suppress findings recorded in this baseline file",
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline file from the current findings "
+        "(requires --baseline) and exit 0",
+    )
+    lint.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="process-pool width for parsing/checking (default: 1)",
+    )
+    lint.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="incremental lint cache directory (default: no cache)",
+    )
+    lint.add_argument(
+        "--stats", action="store_true",
+        help="print a 'lint stats: ...' line (files/parsed/cached)",
+    )
 
     communities = sub.add_parser(
         "communities", help="k-clique community detection",
@@ -565,20 +598,62 @@ def cmd_perf(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    from .analysis import RULE_REGISTRY, lint_paths, render_report
+    from pathlib import Path
+
+    from .analysis import PROJECT_RULE_REGISTRY, RULE_REGISTRY, lint_tree
+    from .analysis.baseline import apply_baseline, load_baseline, write_baseline
+    from .analysis.output import render
 
     if args.list_rules:
-        for rule_id, rule_cls in sorted(RULE_REGISTRY.items()):
-            print(f"{rule_id}  {rule_cls.summary}")
+        catalogue = dict(RULE_REGISTRY)
+        catalogue.update(PROJECT_RULE_REGISTRY)
+        for rule_id, rule_cls in sorted(catalogue.items()):
+            scope = (
+                " [--project]" if rule_id in PROJECT_RULE_REGISTRY else ""
+            )
+            print(f"{rule_id}  {' '.join(rule_cls.summary.split())}{scope}")
         return 0
     select = None
     if args.select:
         select = [r.strip() for r in args.select.split(",") if r.strip()]
+    if args.update_baseline and not args.baseline:
+        raise SystemExit("error: --update-baseline requires --baseline FILE")
     try:
-        violations = lint_paths(args.paths, select=select)
+        run = lint_tree(
+            args.paths,
+            select=select,
+            project=args.project,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+        )
     except (FileNotFoundError, ValueError) as exc:
         raise SystemExit(f"error: {exc}")
-    print(render_report(violations))
+    violations = run.violations
+
+    if args.update_baseline:
+        count = write_baseline(Path(args.baseline), violations)
+        print(f"baseline: recorded {count} findings in {args.baseline}")
+        if args.stats:
+            print(run.stats_line())
+        return 0
+    suppressed = 0
+    if args.baseline:
+        violations, suppressed = apply_baseline(
+            violations, load_baseline(Path(args.baseline))
+        )
+
+    report = render(violations, args.fmt)
+    if args.output:
+        Path(args.output).write_text(
+            report if report.endswith("\n") else report + "\n"
+        )
+        print(f"wrote {args.output}")
+    else:
+        print(report, end="" if report.endswith("\n") else "\n")
+    if suppressed and args.fmt == "text" and not args.output:
+        print(f"({suppressed} baselined findings suppressed)")
+    if args.stats:
+        print(run.stats_line())
     return 1 if violations else 0
 
 

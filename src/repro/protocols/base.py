@@ -101,6 +101,7 @@ class SimulationContext:
         a run that ends before the deadline.
         """
         if self.scheduler is None:
+            # g2g: allow(G2G012: inert (born-cancelled) handle; it never enters a queue)
             return TimerHandle(
                 time=time, tag=tag, payload=payload, owner=owner,
                 cancelled=True,

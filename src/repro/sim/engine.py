@@ -228,6 +228,7 @@ class Simulation:
             queue.push_contact(contact, horizon=horizon)
         for demand in PoissonTraffic(self.trace.nodes, self.config).demands():
             queue.push(
+                # g2g: allow(G2G012: pre-run queue seeding; EventQueue owns ordering)
                 Event(
                     time=demand.time,
                     kind=EventKind.MESSAGE_GENERATION,
@@ -238,6 +239,7 @@ class Simulation:
         msg_counter = 0
         contact_starts = contact_ends = timer_events = 0
         for event in queue.drain():
+            # g2g: allow(G2G012: horizon guard only — ordering (and ties) stay owned by sim/events.py)
             if event.time > horizon:  # defensive: everything is clamped
                 break  # pragma: no cover
             now = event.time

@@ -1,0 +1,11 @@
+"""Helper in the G2G002-exempt perf package: a direct wall-clock read.
+
+The single-file rules stay quiet here; the taint rule must still see
+the sink and follow it into the core.
+"""
+
+import time
+
+
+def stamp():
+    return time.time()

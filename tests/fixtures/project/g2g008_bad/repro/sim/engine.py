@@ -1,0 +1,7 @@
+"""Core module reaching the sink one hop away — the G2G008 shape."""
+
+from ..perf.util import stamp
+
+
+def step():
+    return stamp()

@@ -1,0 +1,5 @@
+"""Clean counterpart: the helper takes its clock from the caller."""
+
+
+def stamp(now):
+    return float(now)

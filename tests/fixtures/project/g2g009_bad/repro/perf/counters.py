@@ -1,0 +1,12 @@
+"""Mini counter schema: one field, one hot-module declaration.
+
+``sim/node.py`` is declared to increment ``signatures`` but never
+does, and increments ``bogus`` which is not in FIELDS — both
+directions of G2G009 fire.
+"""
+
+FIELDS = ("signatures",)
+
+HOT_MODULE_COUNTERS = {
+    "sim/node.py": ("signatures",),
+}

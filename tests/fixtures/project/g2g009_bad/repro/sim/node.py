@@ -1,0 +1,5 @@
+from ..perf.counters import COUNTERS  # noqa: F401 (fixture shape)
+
+
+def hot_loop():
+    COUNTERS.bogus += 1

@@ -1,0 +1,7 @@
+"""Clean counterpart: declaration and increments agree both ways."""
+
+FIELDS = ("signatures",)
+
+HOT_MODULE_COUNTERS = {
+    "sim/node.py": ("signatures",),
+}

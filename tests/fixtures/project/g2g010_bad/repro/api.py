@@ -1,0 +1,11 @@
+"""Facade with drift: a public def missing from the pinned __all__."""
+
+__all__ = ["run"]
+
+
+def run():
+    return None
+
+
+def extra_entry_point():
+    return None

@@ -1,0 +1,7 @@
+"""Core module with a forbidden upward import — the G2G010 shape."""
+
+from repro.experiments.cache import run_key  # noqa: F401
+
+
+def encode(artifact):
+    return bytes(artifact)

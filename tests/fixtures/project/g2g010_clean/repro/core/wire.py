@@ -1,0 +1,7 @@
+"""Clean counterpart: the core only imports sideways/down."""
+
+from repro.crypto import provider  # noqa: F401
+
+
+def encode(artifact):
+    return bytes(artifact)

@@ -1,0 +1,16 @@
+"""Cached spec with a field that never reaches the key — G2G011."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    seed: int
+    deviation: str
+    secret_knob: float
+
+    def config(self):
+        return {"seed": self.seed, "deviation": self.deviation}
+
+    def cache_key(self):
+        return repr(sorted(self.config().items()))

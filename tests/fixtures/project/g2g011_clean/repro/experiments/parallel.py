@@ -1,0 +1,20 @@
+"""Clean counterpart: every field flows into the key via a helper."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    seed: int
+    deviation: str
+    secret_knob: float
+
+    def config(self):
+        return {
+            "seed": self.seed,
+            "deviation": self.deviation,
+            "secret_knob": self.secret_knob,
+        }
+
+    def cache_key(self):
+        return repr(sorted(self.config().items()))

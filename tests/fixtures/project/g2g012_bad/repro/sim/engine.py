@@ -1,0 +1,14 @@
+"""Raw event-time comparison and Event construction outside the
+scheduler — both G2G012 shapes."""
+
+from .events import Event
+
+
+def drain(queue, horizon):
+    out = []
+    for event in queue:
+        if event.time > horizon:
+            break
+        out.append(event)
+    out.append(Event(time=horizon, kind=0))
+    return out

@@ -1,0 +1,9 @@
+"""Mini scheduler module for the G2G012 fixtures."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Event:
+    time: float
+    kind: int

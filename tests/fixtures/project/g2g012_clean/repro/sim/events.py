@@ -1,0 +1,19 @@
+"""Clean counterpart: event-time math lives in the scheduler itself."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Event:
+    time: float
+    kind: int
+
+
+def drain(queue, horizon):
+    out = []
+    for event in queue:
+        if event.time > horizon:
+            break
+        out.append(event)
+    out.append(Event(time=horizon, kind=0))
+    return out

@@ -1,0 +1,4 @@
+"""Deliberately unparseable fixture: `repro lint` must report E999."""
+
+def f(:
+    pass

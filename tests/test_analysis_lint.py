@@ -105,6 +105,21 @@ class TestFramework:
         )
         assert lint_source(line_above, rel="sim/f.py") == []
 
+    def test_pragma_reason_may_contain_parens(self):
+        # The body parses to the end of the comment, so a justification
+        # with its own parens does not truncate the pragma.
+        table = parse_suppressions(
+            "x = 1  # g2g: allow(G2G002: fallback (rare) path)\n"
+        )
+        assert table == {1: {"G2G002"}}
+        source = (
+            "import random\n"
+            "def f():\n"
+            "    # g2g: allow(G2G001: seeded (per-run) upstream)\n"
+            "    return random.random()\n"
+        )
+        assert lint_source(source, rel="sim/f.py") == []
+
     def test_wrong_rule_pragma_does_not_suppress(self):
         source = (
             "import random\n"
@@ -125,11 +140,119 @@ class TestFramework:
         bad.mkdir(parents=True)
         (bad / "broken.py").write_text("def f(:\n")
         violations = lint_paths([tmp_path])
-        assert [v.rule_id for v in violations] == ["G2G000"]
+        assert [v.rule_id for v in violations] == ["E999"]
+        rendered = violations[0].render()
+        # path:line:col: E999 message — a normal diagnostic line.
+        assert ": E999 file does not parse:" in rendered
+        assert rendered.startswith(str(bad / "broken.py") + ":1:")
+
+    def test_syntax_error_fixture(self):
+        fixture = REPO_ROOT / "tests" / "fixtures" / "syntax"
+        violations = lint_paths([fixture])
+        assert [v.rule_id for v in violations] == ["E999"]
+        assert violations[0].line == 3
+
+    def test_null_byte_file_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "nulls.py"
+        bad.write_bytes(b"x = 1\x00\n")
+        violations = lint_paths([bad])
+        assert [v.rule_id for v in violations] == ["E999"]
 
     def test_unknown_rule_rejected(self):
         with pytest.raises(ValueError, match="unknown rule"):
             lint_source("x = 1\n", select=["G2G999"])
+
+
+class TestFrameworkHelpers:
+    """Direct unit tests for the shared AST helpers."""
+
+    def _tree(self, source):
+        import ast
+
+        return ast.parse(source)
+
+    def test_imported_origins_aliases(self):
+        from repro.analysis.framework import imported_origins
+
+        tree = self._tree(
+            "import random\n"
+            "import numpy as np\n"
+            "import os.path\n"
+            "from random import Random\n"
+            "from random import shuffle as mix\n"
+        )
+        origins = imported_origins(tree)
+        assert origins["random"] == "random"
+        assert origins["np"] == "numpy"
+        # `import os.path` binds the *root* name, mapping it to itself.
+        assert origins["os"] == "os"
+        assert origins["Random"] == "random.Random"
+        assert origins["mix"] == "random.shuffle"
+
+    def test_imported_origins_skips_relative_imports(self):
+        from repro.analysis.framework import imported_origins
+
+        tree = self._tree(
+            "from . import events\n"
+            "from ..perf import counters\n"
+            "from .events import Scheduler\n"
+        )
+        assert imported_origins(tree) == {}
+
+    def test_resolve_call_non_import_root(self):
+        import ast
+
+        from repro.analysis.framework import imported_origins, resolve_call
+
+        tree = self._tree(
+            "import random\n"
+            "rng = random.Random(7)\n"
+            "a = rng.randint(0, 5)\n"
+            "b = self.rng.random()\n"
+            "c = random.randint(0, 5)\n"
+            "d = (lambda: 0)()\n"
+        )
+        origins = imported_origins(tree)
+        calls = [n.func for n in ast.walk(tree) if isinstance(n, ast.Call)]
+        resolved = [resolve_call(c, origins) for c in calls]
+        # Only the chains rooted at an import resolve; local/attribute
+        # roots and non-name callables come back None.
+        assert "random.Random" in resolved
+        assert "random.randint" in resolved
+        assert resolved.count(None) == 3
+
+    def test_package_relative_path_ending_at_repro(self):
+        # A path whose last component IS the package root has no
+        # relative remainder — that is None, not "".
+        assert package_relative(Path("src/repro")) is None
+        assert package_relative(Path("repro")) is None
+        # Nested repro segments classify by the innermost one.
+        assert (
+            package_relative(Path("repro/outer/repro/sim/x.py"))
+            == "sim/x.py"
+        )
+
+    def test_function_stack_nesting(self):
+        import ast
+
+        from repro.analysis.framework import function_stack
+
+        tree = self._tree(
+            "def outer():\n"
+            "    def inner():\n"
+            "        x = 1\n"
+            "    y = 2\n"
+            "z = 3\n"
+        )
+        stacks = {}
+        for node, stack in function_stack(tree):
+            if isinstance(node, ast.Assign):
+                stacks[node.targets[0].id] = stack
+        assert stacks == {
+            "x": ("outer", "inner"),
+            "y": ("outer",),
+            "z": (),
+        }
 
 
 class TestRuleDetails:
