@@ -32,7 +32,7 @@ from typing import Any, Dict, List, Optional
 
 from .framework import Violation
 
-_CACHE_VERSION = 1
+_CACHE_VERSION = 2
 _CACHE_FILENAME = "lint-cache.json"
 
 _ANALYSIS_DIR = Path(__file__).resolve().parent

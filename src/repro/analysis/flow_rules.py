@@ -1,4 +1,4 @@
-"""Whole-program flow rules G2G008–G2G012.
+"""Whole-program flow rules G2G008–G2G013.
 
 Single-file rules catch a ``random.random()`` where it is written;
 these catch the cross-module shapes that poison replayability one hop
@@ -23,6 +23,9 @@ G2G011   cache-key completeness: a ``RunRequest``/``ScenarioSpec``
 G2G012   scheduler discipline: raw event-time arithmetic/comparisons
          or direct ``Event``/``TimerHandle`` construction outside
          ``sim/events.py``
+G2G013   streaming discipline: ``.contacts`` materialization outside
+         ``repro.traces`` — everything downstream of the trace layer
+         must pull contacts through a ``ContactSource``
 =======  ==============================================================
 
 Each rule reads only :class:`~repro.analysis.project.ProjectModel`
@@ -83,6 +86,10 @@ CACHE_KEY_CLASSES: Dict[Tuple[str, str], Tuple[str, Tuple[str, ...]]] = {
 #: The scheduler module: sole sanctioned owner of event-time math and
 #: Event/TimerHandle construction (G2G012).
 SCHEDULER_REL = "sim/events.py"
+
+#: The only package allowed to touch ``.contacts`` directly (G2G013):
+#: the trace layer owns materialization; everything downstream streams.
+CONTACTS_OWNER_PACKAGE = "traces"
 
 
 def _function_index(
@@ -431,5 +438,42 @@ class SchedulerDiscipline(ProjectRule):
                     line,
                     f"direct {cls_name} construction outside the"
                     f" scheduler; use Scheduler.schedule",
+                    column=col + 1,
+                )
+
+
+@register_project_rule
+class StreamingDiscipline(ProjectRule):
+    """G2G013: ``.contacts`` materialization stays inside the trace layer.
+
+    The engine scaled to 1M-node universes by pulling contacts through
+    the :class:`~repro.traces.stream.ContactSource` choke point — the
+    event heap holds only the in-flight frontier, never the full
+    contact list.  A ``.contacts`` read anywhere outside
+    ``repro.traces`` re-materializes the trace and silently reverts
+    that memory bound (streaming sources do not even *have* a trace to
+    materialize: ``source.trace`` is None for them).  Analysis-style
+    consumers that genuinely need the aggregate view carry a
+    ``# g2g: allow(G2G013: ...)`` pragma.
+    """
+
+    rule_id = "G2G013"
+    summary = (
+        ".contacts materialization outside repro.traces — stream"
+        " through a ContactSource (iter_contacts) instead"
+    )
+
+    def check(self, project: ProjectModel) -> Iterator[Violation]:
+        for entry in project.modules:
+            if entry["package"] == CONTACTS_OWNER_PACKAGE:
+                continue
+            for line, col in entry.get("contacts_reads", ()):
+                yield self.flag(
+                    entry,
+                    line,
+                    ".contacts read outside repro.traces materializes"
+                    " the full contact list; pull contacts through a"
+                    " ContactSource (iter_contacts) so streaming"
+                    " universes stay bounded-memory",
                     column=col + 1,
                 )

@@ -1,7 +1,7 @@
 """Whole-program model for the cross-module flow rules.
 
 The single-file rules (G2G001–G2G007) see one AST at a time; the flow
-rules (G2G008–G2G012, :mod:`repro.analysis.flow_rules`) reason about
+rules (G2G008–G2G013, :mod:`repro.analysis.flow_rules`) reason about
 the program: a seeded-RNG leak *through* a call chain, a counter
 declared in one module and incremented in another, an import edge that
 violates layering.  This module gives them a shared
@@ -360,7 +360,10 @@ def module_facts(module: LintModule) -> Optional[Dict[str, Any]]:
     counters: Dict[str, int] = {}
     event_time_ops: List[List[Any]] = []
     event_constructions: List[List[Any]] = []
+    contacts_reads: List[List[int]] = []
     for node in ast.walk(module.tree):
+        if isinstance(node, ast.Attribute) and node.attr == "contacts":
+            contacts_reads.append([node.lineno, node.col_offset])
         if isinstance(node, ast.AugAssign):
             target = node.target
             if (
@@ -431,6 +434,7 @@ def module_facts(module: LintModule) -> Optional[Dict[str, Any]]:
         "counter_decls": _counter_decls(module.tree),
         "event_time_ops": event_time_ops,
         "event_constructions": event_constructions,
+        "contacts_reads": contacts_reads,
     }
 
 

@@ -63,6 +63,7 @@ from .sim.config import SimulationConfig, config_for
 from .sim.engine import Simulation
 from .sim.results import SimulationResults
 from .telemetry.export import TelemetryCollector
+from .traces.stream import ContactSource
 from .traces.trace import ContactTrace, NodeId
 
 #: What ``run``/``sweep`` accept as a telemetry sink: a directory path
@@ -84,7 +85,7 @@ def _resolve_telemetry(
 
 
 def run(
-    trace: Union[str, ContactTrace],
+    trace: Union[str, ContactTrace, ContactSource],
     protocol: Union[str, ForwardingProtocol],
     config: Union[None, SimulationConfig, Mapping[str, object]] = None,
     *,
@@ -105,7 +106,10 @@ def run(
     Args:
         trace: an evaluation trace name ("infocom05" / "cambridge06"),
             resolved to the paper's windowed setting with its detected
-            communities, or a ready :class:`ContactTrace` used as-is.
+            communities, a ready :class:`ContactTrace` used as-is, or
+            a streaming :class:`~repro.traces.ContactSource` (e.g. a
+            :class:`~repro.traces.SyntheticStreamSource` mega-trace)
+            fed to the engine chunk by chunk.
         protocol: a catalog name (``repro.experiments.PROTOCOLS``) or
             a fresh protocol instance (never reuse one across runs).
         config: a full :class:`SimulationConfig`, a mapping of config
@@ -143,12 +147,20 @@ def run(
         The run's :class:`SimulationResults`, with the telemetry
         snapshot attached as ``results.telemetry``.
     """
+    trace_obj: Union[ContactTrace, ContactSource]
     if isinstance(trace, str):
         trace_obj = evaluation_trace(trace)
         if community is None:
             community = evaluation_community(trace)
     else:
         trace_obj = trace
+    # Node universe for population/scenario expansion: a streaming
+    # source declares it (possibly as a range); a trace enumerates it.
+    universe = (
+        trace_obj.universe
+        if isinstance(trace_obj, ContactSource)
+        else trace_obj.nodes
+    )
 
     if isinstance(protocol, str):
         family, factory = catalog_protocol(protocol)
@@ -188,7 +200,7 @@ def run(
                 " or strategies"
             )
         strategies, _ = mixed_population(
-            trace_obj.nodes,
+            universe,
             dict(mix),
             seed=run_config.seed,
             community=community,
@@ -199,7 +211,7 @@ def run(
                 "pass either adversary/adversary_count or strategies, not both"
             )
         strategies, _ = strategy_population(
-            trace_obj.nodes,
+            universe,
             adversary,
             adversary_count,
             seed=run_config.seed,
@@ -211,14 +223,14 @@ def run(
         from .scenarios.spec import churn_events_for
 
         churn_schedule = churn_events_for(
-            trace_obj.nodes, list(churn), seed=run_config.seed
+            universe, list(churn), seed=run_config.seed
         )
     budgets = None
     if energy_budgets:
         from .scenarios.spec import energy_budgets_for
 
         budgets = energy_budgets_for(
-            trace_obj.nodes, tuple(energy_budgets), seed=run_config.seed
+            universe, tuple(energy_budgets), seed=run_config.seed
         )
 
     results = Simulation(

@@ -15,6 +15,9 @@ Commands:
 * ``telemetry`` — summarize or validate exported telemetry JSONL.
 * ``perf`` — time the relay-loop hot-path benchmark and write
   ``BENCH_hotpath.json``.
+* ``scale-bench`` — sweep synthetic streaming sources across node
+  scales and write the nodes-vs-wall / nodes-vs-RSS curves to
+  ``BENCH_scale.json``.
 * ``lint`` — run the G2G determinism/invariant lint rules over source
   trees (see ``docs/development.md``).
 
@@ -221,6 +224,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the cProfile-instrumented repetition",
     )
 
+    scale = sub.add_parser(
+        "scale-bench",
+        help="sweep streaming sources across node scales and write "
+        "BENCH_scale.json",
+        parents=[_seed_parent(0)],
+    )
+    scale.add_argument(
+        "--scales", default=None, metavar="N,N,...",
+        help="comma-separated node counts for the nodes_vs sweep "
+        "(default: 1000,10000,100000,1000000)",
+    )
+    scale.add_argument(
+        "--durations", default=None, metavar="S,S,...",
+        help="comma-separated stream durations (seconds) for the "
+        "fixed-node contacts_vs sweep "
+        "(default: 3600,14400,43200,86400)",
+    )
+    scale.add_argument(
+        "--contacts-nodes", type=int, default=10_000,
+        help="universe size of the contacts_vs sweep (default: 10000)",
+    )
+    scale.add_argument(
+        "--out", default="BENCH_scale.json",
+        help="report path (default: BENCH_scale.json)",
+    )
+    scale.add_argument(
+        "--timeout", type=float, default=1_800.0,
+        help="per-point subprocess timeout in seconds (default: 1800)",
+    )
+
     lint = sub.add_parser(
         "lint", help="run the G2G determinism/invariant lint rules"
     )
@@ -239,7 +272,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--project", action="store_true",
-        help="also run the whole-program flow rules (G2G008-G2G012)",
+        help="also run the whole-program flow rules (G2G008-G2G013)",
     )
     lint.add_argument(
         "--format", default="text", choices=["text", "json", "sarif"],
@@ -597,6 +630,54 @@ def cmd_perf(args) -> int:
     return 0
 
 
+def cmd_scale_bench(args) -> int:
+    from .perf.scalebench import (
+        DEFAULT_DURATIONS,
+        DEFAULT_SCALES,
+        scale_bench,
+        write_report,
+    )
+
+    try:
+        scales = (
+            tuple(int(s) for s in args.scales.split(","))
+            if args.scales else DEFAULT_SCALES
+        )
+        durations = (
+            tuple(float(d) for d in args.durations.split(","))
+            if args.durations else DEFAULT_DURATIONS
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: bad --scales/--durations: {exc}")
+    try:
+        report = scale_bench(
+            scales=scales,
+            durations=durations,
+            contacts_nodes=args.contacts_nodes,
+            seed=args.seed,
+            point_timeout=args.timeout,
+            progress=True,
+        )
+    except RuntimeError as exc:
+        raise SystemExit(f"error: {exc}")
+    write_report(report, args.out)
+    for point in report["nodes_vs"]:
+        print(
+            f"  {point['nodes']:>9} nodes: {point['contacts']:>9} contacts, "
+            f"{point['wall_s']:>8.3f} s, "
+            f"{point['peak_rss_bytes'] / 1e6:>8.1f} MB peak RSS"
+        )
+    for point in report["contacts_vs"]:
+        print(
+            f"  {point['duration_s'] / 3600:>6.1f} h stream @ "
+            f"{point['nodes']} nodes: {point['contacts']:>9} contacts, "
+            f"{point['wall_s']:>8.3f} s, "
+            f"{point['peak_rss_bytes'] / 1e6:>8.1f} MB peak RSS"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
 def cmd_lint(args) -> int:
     from pathlib import Path
 
@@ -753,6 +834,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "scenarios": cmd_scenarios,
         "telemetry": cmd_telemetry,
         "perf": cmd_perf,
+        "scale-bench": cmd_scale_bench,
         "lint": cmd_lint,
     }
     return handlers[args.command](args)

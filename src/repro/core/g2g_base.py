@@ -71,6 +71,45 @@ from .wire import CONTROL_MESSAGE_SIZE, ProofOfRelay, SealedMessage
 DeadlineQueue = Tuple[array, List[int]]
 
 
+def _new_deadline_queue() -> DeadlineQueue:
+    """A fresh empty deadline queue (lazy per-node map factory)."""
+    return (array("d"), [])
+
+
+class _LazyIdentities(Dict[NodeId, NodeIdentity]):
+    """Identities enrolled on first touch (streaming universes).
+
+    Keypairs draw from the provider's shared seeded RNG, so key
+    material depends on enrollment order — first-touch order here,
+    which is itself a deterministic function of the event stream.
+    Streaming runs are therefore reproducible seed-for-seed; only the
+    materialized path keeps the historical universe-order enrollment
+    (that order is baked into the goldens).
+    """
+
+    def __init__(self, authority: Authority) -> None:
+        super().__init__()
+        self._authority = authority
+
+    def __missing__(self, node_id: NodeId) -> NodeIdentity:
+        identity = self._authority.enroll(node_id)
+        self[node_id] = identity
+        return identity
+
+
+class _LazyMap(Dict[NodeId, Any]):
+    """Per-node state created on first touch (streaming universes)."""
+
+    def __init__(self, factory: Any) -> None:
+        super().__init__()
+        self._factory = factory
+
+    def __missing__(self, node_id: NodeId) -> Any:
+        value = self._factory()
+        self[node_id] = value
+        return value
+
+
 def _enqueue_deadline(
     queue: DeadlineQueue, deadline: float, msg_id: int
 ) -> None:
@@ -189,16 +228,29 @@ class Give2GetBase(ForwardingProtocol):
             provider = make_provider(provider, ctx.rng)
         self.provider = provider
         self.authority = Authority(provider)
-        self.identities: Dict[NodeId, NodeIdentity] = {
-            node_id: self.authority.enroll(node_id) for node_id in ctx.nodes
-        }
+        self.identities: Dict[NodeId, NodeIdentity]
+        if ctx.lazy_nodes:
+            # Streaming universe: enrolling a million identities up
+            # front is exactly the materialization the lazy node table
+            # avoids.  Enroll on first touch instead; see
+            # _LazyIdentities for the determinism contract.
+            self.identities = _LazyIdentities(self.authority)
+        else:
+            # Eager path: enrollment draws authority RNG state in
+            # universe order — part of the bit-identical contract for
+            # materialized traces.
+            self.identities = {
+                node_id: self.authority.enroll(node_id)
+                for node_id in ctx.nodes
+            }
         self.heavy_hmac = provider.heavy_hmac(ctx.config.heavy_hmac_iterations)
         self._sealed: Dict[int, SealedMessage] = {}
         self._wire_bytes: Dict[int, bytes] = {}
         self._hash: Dict[int, bytes] = {}
-        self._sources: Dict[NodeId, Dict[int, _SourceRecord]] = {
-            node_id: {} for node_id in ctx.nodes
-        }
+        self._sources: Dict[NodeId, Dict[int, _SourceRecord]] = (
+            _LazyMap(dict) if ctx.lazy_nodes
+            else {node_id: {} for node_id in ctx.nodes}
+        )
         # Housekeeping deadlines: every store enqueues ``created_at +
         # Δ2`` on the owning node's deadline queue.  Record purges
         # apply when the queue drains (nothing reads a record past its
@@ -207,12 +259,14 @@ class Give2GetBase(ForwardingProtocol):
         # per-contact sweep (and the timer-based design after it)
         # dropped it, which is what keeps the memory byte-second
         # integral (and the golden results) bit-identical.
-        self._purge_queues: Dict[NodeId, DeadlineQueue] = {
-            node_id: (array("d"), []) for node_id in ctx.nodes
-        }
-        self._record_queues: Dict[NodeId, DeadlineQueue] = {
-            node_id: (array("d"), []) for node_id in ctx.nodes
-        }
+        self._purge_queues: Dict[NodeId, DeadlineQueue] = (
+            _LazyMap(_new_deadline_queue) if ctx.lazy_nodes
+            else {node_id: (array("d"), []) for node_id in ctx.nodes}
+        )
+        self._record_queues: Dict[NodeId, DeadlineQueue] = (
+            _LazyMap(_new_deadline_queue) if ctx.lazy_nodes
+            else {node_id: (array("d"), []) for node_id in ctx.nodes}
+        )
         # Hot-loop constants: per-run invariants read on every relay.
         config = ctx.config
         energy = config.energy

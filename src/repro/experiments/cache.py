@@ -33,7 +33,7 @@ import os
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Mapping, Optional, Union
+from typing import Any, Mapping, Optional, Sequence, Union
 
 from ..sim.config import SimulationConfig
 from ..sim.results import SimulationResults
@@ -63,6 +63,7 @@ def run_key(
     seed: int,
     config: SimulationConfig,
     scenario: Optional[Mapping[str, Any]] = None,
+    source: Optional[Sequence[Sequence[Any]]] = None,
 ) -> str:
     """Stable content hash identifying one simulation run.
 
@@ -71,9 +72,11 @@ def run_key(
     randomized ``hash()``).
 
     ``scenario`` carries the extra inputs of scenario runs (adversary
-    mix, churn schedule, energy-budget spec).  It is folded into the
-    payload only when present, so every pre-scenario key — and every
-    entry written under one — stays valid.
+    mix, churn schedule, energy-budget spec); ``source`` carries the
+    streaming-source spec of synthetic mega-trace runs.  Each is
+    folded into the payload only when present, so every pre-scenario
+    (and pre-source) key — and every entry written under one — stays
+    valid.
     """
     payload = {
         "cache_version": CACHE_VERSION,
@@ -88,6 +91,8 @@ def run_key(
     }
     if scenario:
         payload["scenario"] = dict(scenario)
+    if source:
+        payload["source"] = [list(pair) for pair in source]
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 

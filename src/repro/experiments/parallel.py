@@ -59,6 +59,16 @@ class RunRequest:
             expanded into node-level join/leave timers by the worker.
         energy_budget: energy-budget spec, ``()`` for unbounded,
             ``("constant", joules)`` or ``("uniform", lo, hi)``.
+        source: streaming-source spec as sorted ``(field, value)``
+            pairs of a :class:`repro.traces.StreamModelConfig` —
+            ``()`` for ordinary trace runs.  When set, the worker
+            rebuilds the synthetic stream from the spec instead of
+            loading an evaluation trace, and ``trace_name`` is a
+            display label only.  Source runs carry their full config
+            in ``overrides`` (there is no preset TTL table for
+            synthetic universes) and do not support adversary
+            placement (``deviation``/``mix``), which would need an
+            enumerated node list.
     """
 
     trace_name: str
@@ -71,9 +81,14 @@ class RunRequest:
     mix: Tuple[Tuple[str, float], ...] = ()
     churn: Tuple[Tuple[float, float, Optional[float]], ...] = ()
     energy_budget: Tuple[Any, ...] = ()
+    source: Tuple[Tuple[str, Any], ...] = ()
 
     def config(self) -> SimulationConfig:
         """The run's full simulation configuration."""
+        if self.source:
+            overrides = dict(self.overrides)
+            overrides["seed"] = self.seed
+            return SimulationConfig(**overrides)  # type: ignore[arg-type]
         return config_for(
             self.trace_name,
             self.family,
@@ -108,6 +123,7 @@ class RunRequest:
             seed=self.seed,
             config=self.config(),
             scenario=self.scenario_extras(),
+            source=self.source or None,
         )
 
     def roles(self) -> Dict[str, Tuple[int, ...]]:
@@ -178,6 +194,36 @@ def execute_request(
             "a RunRequest carries either a single deviation or a mix,"
             " not both"
         )
+    if request.source:
+        if request.mix or request.deviation is not None:
+            raise ValueError(
+                "source requests do not support adversary placement"
+                " (deviation/mix) — it needs an enumerated node list"
+            )
+        from ..traces.stream import source_from_spec
+
+        source = source_from_spec(request.source)
+        config = request.config()
+        churn = None
+        energy_budgets = None
+        if request.churn or request.energy_budget:
+            from ..scenarios.spec import churn_events_for, energy_budgets_for
+
+            if request.churn:
+                churn = churn_events_for(
+                    source.universe, request.churn, seed=request.seed
+                )
+            if request.energy_budget:
+                energy_budgets = energy_budgets_for(
+                    source.universe, request.energy_budget, seed=request.seed
+                )
+        return Simulation(
+            source,
+            factory(),
+            config,
+            churn=churn,
+            energy_budgets=energy_budgets,
+        ).run()
     trace = evaluation_trace(request.trace_name)
     community = evaluation_community(request.trace_name)
     config = request.config()
@@ -343,9 +389,15 @@ def run_requests(
         else:
             # Warm the trace/community caches in the parent first:
             # fork-started workers then inherit the built artifacts
-            # instead of each re-running community detection.
+            # instead of each re-running community detection.  Source
+            # requests are skipped — their trace_name is a display
+            # label, not an evaluation-trace key.
             for trace_name in sorted(
-                {requests[i].trace_name for i in pending}
+                {
+                    requests[i].trace_name
+                    for i in pending
+                    if not requests[i].source
+                }
             ):
                 evaluation_trace(trace_name)
                 evaluation_community(trace_name)

@@ -7,5 +7,12 @@ perf tests), never from this package root.
 """
 
 from .counters import COUNTERS, OpCounters
+from .memory import current_rss_bytes, measure_peak_alloc, peak_rss_bytes
 
-__all__ = ["COUNTERS", "OpCounters"]
+__all__ = [
+    "COUNTERS",
+    "OpCounters",
+    "current_rss_bytes",
+    "measure_peak_alloc",
+    "peak_rss_bytes",
+]

@@ -1,0 +1,72 @@
+"""Process-memory measurement for the scale benchmarks.
+
+The container has no ``psutil``; everything here is stdlib:
+
+* :func:`peak_rss_bytes` — the kernel's high-water resident set via
+  ``getrusage`` (the number ``repro scale-bench`` curves plot).  Peak
+  RSS is monotone for the life of a process, which is why the bench
+  harness spawns a fresh interpreter per scale point.
+* :func:`current_rss_bytes` — instantaneous RSS from
+  ``/proc/self/statm`` (Linux; ``None`` elsewhere).
+* :func:`measure_peak_alloc` — ``tracemalloc``-scoped peak *Python*
+  allocation of one callable; unlike RSS it is exact, deterministic,
+  and immune to allocator slack, which makes it the unit-testable
+  face of this module.
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+import sys
+import tracemalloc
+from typing import Any, Callable, Optional, Tuple
+
+
+def peak_rss_bytes() -> int:
+    """High-water resident set size of this process, in bytes.
+
+    ``ru_maxrss`` is kibibytes on Linux and bytes on macOS; normalize
+    to bytes so callers never see the platform split.
+    """
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - linux container
+        return int(usage)
+    return int(usage) * 1024
+
+
+def current_rss_bytes() -> Optional[int]:
+    """Instantaneous resident set size, or ``None`` off-Linux.
+
+    Reads ``/proc/self/statm`` (field 2 is resident pages); unlike the
+    peak it can go *down*, so it is the right probe for "how much is
+    resident right now" checks between pipeline stages.
+    """
+    try:
+        with open("/proc/self/statm") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, IndexError, ValueError):  # pragma: no cover
+        return None
+
+
+def measure_peak_alloc(fn: Callable[[], Any]) -> Tuple[Any, int]:
+    """Run ``fn`` and return ``(result, peak_python_bytes)``.
+
+    The peak is ``tracemalloc``'s traced high-water mark over the
+    call, relative to the allocation level at entry — a deterministic,
+    allocator-independent measure of how much memory the callable
+    itself needed at its worst moment.
+    """
+    was_tracing = tracemalloc.is_tracing()
+    if not was_tracing:
+        tracemalloc.start()
+    baseline, _ = tracemalloc.get_traced_memory()
+    tracemalloc.reset_peak()
+    try:
+        result = fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        if not was_tracing:
+            tracemalloc.stop()
+    return result, max(0, peak - baseline)

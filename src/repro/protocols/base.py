@@ -65,6 +65,10 @@ class SimulationContext:
             whose cumulative spend reaches its budget is marked
             ``depleted`` at the next :meth:`check_energy` and stops
             participating (see docs/scenarios.md).
+        lazy_nodes: True when ``nodes`` is a lazy table over a
+            streaming source's universe — protocols must not iterate
+            or size it during ``bind`` (it only holds *touched* nodes)
+            and should build their own per-node maps lazily too.
     """
 
     config: SimulationConfig
@@ -78,6 +82,7 @@ class SimulationContext:
     scheduler: Optional[Scheduler] = None
     telemetry: RunTelemetry = field(default_factory=RunTelemetry)
     energy_budgets: Dict[NodeId, float] = field(default_factory=dict)
+    lazy_nodes: bool = False
 
     def node(self, node_id: NodeId) -> NodeState:
         """Runtime state of ``node_id``."""

@@ -1,4 +1,4 @@
-"""The simulation engine: drives a protocol over a contact trace.
+"""The simulation engine: drives a protocol over a contact source.
 
 Usage::
 
@@ -11,13 +11,21 @@ Usage::
 The engine is protocol-agnostic: it replays contact events and traffic
 demands in time order and forwards them to the bound protocol; all
 forwarding/testing/blacklisting logic lives in the protocol classes.
+
+Ingestion goes through :class:`repro.traces.stream.ContactSource`: an
+in-memory :class:`~repro.traces.trace.ContactTrace` is wrapped in the
+bit-identical ``InMemorySource`` compatibility path, while streaming
+sources (synthetic mega-traces, chunked files) are fed incrementally
+into the event heap and get their :class:`NodeState` instantiated
+lazily on first appearance — the engine's memory footprint follows the
+set of *touched* nodes and in-flight events, not the trace size.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Sequence, Union
 
 if TYPE_CHECKING:  # circular at runtime: protocols.base imports sim
     from ..protocols.base import (
@@ -29,12 +37,13 @@ if TYPE_CHECKING:  # circular at runtime: protocols.base imports sim
 from ..adversaries.base import HONEST, Strategy
 from ..core.blacklist import BlacklistService, GossipBlacklist, InstantBlacklist
 from ..perf import COUNTERS
+from ..traces.stream import ContactSource, ensure_contact_source
 from ..traces.trace import ContactTrace, NodeId
 from .config import SimulationConfig
 from .eventlog import EventLog, EventType
 from .events import Event, EventKind, EventQueue, Scheduler
 from .messages import Message
-from .node import NodeState
+from .node import NodeState, RelaySpill, SpillPolicy
 from .results import SimulationResults
 from .traffic import PoissonTraffic
 
@@ -93,12 +102,46 @@ class ChurnService:
                 self.ctx.events.log(now, EventType.REJOINED, actor=node_id)
 
 
+class _NodeTable(Dict[NodeId, NodeState]):
+    """Node states created lazily on first access (streaming sources).
+
+    A 1M-node universe must not materialize a million ``NodeState``
+    objects up front; the table builds one the first time any event or
+    protocol touches the node.  Creation is a pure function of the
+    node id (strategy map lookup, optional spill attachment), so the
+    lazy table is observationally identical to the eager dict for any
+    access sequence.
+    """
+
+    def __init__(
+        self,
+        strategies: Mapping[NodeId, Strategy],
+        spill: Optional[RelaySpill] = None,
+        keep: int = 64,
+    ) -> None:
+        super().__init__()
+        self._strategies = strategies
+        self._spill = spill
+        self._keep = keep
+
+    def __missing__(self, node_id: NodeId) -> NodeState:
+        node = NodeState(
+            node_id=node_id,
+            strategy=self._strategies.get(node_id, HONEST),
+        )
+        if self._spill is not None:
+            node.enable_spill(self._spill, self._keep)
+        self[node_id] = node
+        return node
+
+
 class Simulation:
-    """One simulation run binding trace + protocol + config + strategies.
+    """One simulation run binding source + protocol + config + strategies.
 
     Args:
-        trace: the (already windowed) contact trace; its time origin is
-            the run's time origin.
+        trace: the (already windowed) contact trace, or any
+            :class:`~repro.traces.stream.ContactSource`; its time
+            origin is the run's time origin.
         protocol: a fresh protocol instance (not shared across runs).
         config: run parameters.
         strategies: per-node strategies; nodes absent from the map are
@@ -111,11 +154,14 @@ class Simulation:
             ``TIMER`` event on the run scheduler.
         energy_budgets: optional per-node energy budgets (joules);
             empty means the paper's unbounded-battery setting.
+        spill: optional relay-index spill policy; bounds resident
+            copies per node by demoting cold ones to a shared on-disk
+            store (scale runs only — off by default).
     """
 
     def __init__(
         self,
-        trace: ContactTrace,
+        trace: Union[ContactTrace, ContactSource],
         protocol: "ForwardingProtocol",
         config: SimulationConfig,
         strategies: Optional[Dict[NodeId, Strategy]] = None,
@@ -123,17 +169,28 @@ class Simulation:
         blacklist: Optional[BlacklistService] = None,
         churn: Optional[Sequence[ChurnEvent]] = None,
         energy_budgets: Optional[Mapping[NodeId, float]] = None,
+        spill: Optional[SpillPolicy] = None,
     ) -> None:
-        if trace.num_nodes < 2:
+        source = ensure_contact_source(trace, "Simulation")
+        if source.num_nodes < 2:
             raise ValueError("simulation needs at least two nodes")
-        self.trace = trace
+        self.source = source
+        #: Backing in-memory trace when the source is materialized
+        #: (the paper-scale path); ``None`` for streaming sources.
+        self.trace = source.trace
         self.protocol = protocol
         self.config = config
         self.strategies = strategies or {}
         self.community = community
         self.churn = tuple(churn or ())
         self.energy_budgets = dict(energy_budgets or {})
-        known = set(trace.nodes)
+        self.spill = spill
+        universe = source.universe
+        # ``range`` universes test membership in O(1); explicit node
+        # tuples go through a set so the checks stay O(1) either way.
+        known: Union[range, set] = (
+            universe if isinstance(universe, range) else set(universe)
+        )
         for transition in self.churn:
             if transition.node not in known:
                 raise ValueError(
@@ -153,22 +210,39 @@ class Simulation:
                 )
             )
         self.blacklist = blacklist
+        self._active_spill: Optional[RelaySpill] = None
 
     def _build_context(self) -> "SimulationContext":
         from ..protocols.base import SimulationContext
 
         results = SimulationResults(
             protocol=self.protocol.name,
-            trace=self.trace.name,
+            trace=self.source.name,
             seed=self.config.seed,
         )
-        nodes = {
-            node_id: NodeState(
-                node_id=node_id,
-                strategy=self.strategies.get(node_id, HONEST),
+        spill: Optional[RelaySpill] = None
+        if self.spill is not None:
+            spill = RelaySpill(self.spill.path)
+            self._active_spill = spill
+        lazy = not self.source.materialized
+        nodes: Dict[NodeId, NodeState]
+        if lazy:
+            nodes = _NodeTable(
+                self.strategies,
+                spill=spill,
+                keep=self.spill.keep if self.spill is not None else 64,
             )
-            for node_id in self.trace.nodes
-        }
+        else:
+            nodes = {
+                node_id: NodeState(
+                    node_id=node_id,
+                    strategy=self.strategies.get(node_id, HONEST),
+                )
+                for node_id in self.source.universe
+            }
+            if spill is not None:
+                for node in nodes.values():
+                    node.enable_spill(spill, self.spill.keep)  # type: ignore[union-attr]
         events = EventLog(enabled=self.config.track_events)
         results.events = events
         scheduler = Scheduler(
@@ -189,6 +263,7 @@ class Simulation:
             events=events,
             scheduler=scheduler,
             energy_budgets=dict(self.energy_budgets),
+            lazy_nodes=lazy,
         )
 
     def run(self) -> SimulationResults:
@@ -207,7 +282,7 @@ class Simulation:
         assert scheduler is not None  # _build_context always wires one
         queue = scheduler.queue
         horizon = self.config.run_length
-        self.blacklist.on_run_start(scheduler, self.trace.nodes)
+        self.blacklist.on_run_start(scheduler, self.source.universe)
         budgeted = bool(self.energy_budgets)
         if self.churn:
             churn_service = ChurnService(ctx)
@@ -218,15 +293,14 @@ class Simulation:
                     payload=(transition.node, transition.action),
                     owner=churn_service,
                 )
-        for contact in self.trace.contacts:
-            if contact.start >= horizon:
-                continue
-            # Ends past the horizon are clamped to it: a contact still
-            # open at run end closes at run end (the pre-scheduler loop
-            # broke at the first event past the horizon instead, so
-            # straddling contacts never received on_contact_end).
-            queue.push_contact(contact, horizon=horizon)
-        for demand in PoissonTraffic(self.trace.nodes, self.config).demands():
+        # All contact ingestion rides the queue's stream feeder: a
+        # materialized trace feeds its (already sorted) contact tuple
+        # in the same order the old bulk load pushed it, a streaming
+        # source never has more than its pending frontier on the heap.
+        # Ends past the horizon are clamped to it by the feeder: a
+        # contact still open at run end closes at run end.
+        queue.attach_contacts(self.source.iter_contacts(), horizon=horizon)
+        for demand in PoissonTraffic(self.source.universe, self.config).demands():
             queue.push(
                 # g2g: allow(G2G012: pre-run queue seeding; EventQueue owns ordering)
                 Event(
@@ -287,6 +361,9 @@ class Simulation:
                 self.protocol.on_message_generated(message, now)
 
         self.protocol.finalize(horizon)
+        if self._active_spill is not None:
+            self._active_spill.close()
+            self._active_spill = None
         ctx.telemetry.finalize_run(
             COUNTERS.diff(ops_before),
             {
@@ -302,7 +379,7 @@ class Simulation:
 
 
 def run_simulation(
-    trace: ContactTrace,
+    trace: Union[ContactTrace, ContactSource],
     protocol: "ForwardingProtocol",
     config: SimulationConfig,
     strategies: Optional[Dict[NodeId, Strategy]] = None,

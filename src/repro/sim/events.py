@@ -102,12 +102,18 @@ class EventQueue:
     """A time-ordered event queue.
 
     Thin wrapper over ``heapq`` keeping a deterministic tiebreak
-    sequence; supports bulk-loading a contact trace.
+    sequence; supports bulk-loading a contact trace or feeding one
+    incrementally from a streaming contact source
+    (:meth:`attach_contacts`), so the heap never holds more than the
+    events at or before the stream's current frontier.
     """
 
     def __init__(self) -> None:
         self._heap: List[Tuple[float, int, int, Event]] = []
         self._sequence = 0
+        self._contacts: Optional[Iterator[Contact]] = None
+        self._pending: Optional[Contact] = None
+        self._contact_horizon: Optional[float] = None
 
     def push(self, event: Event) -> None:
         """Schedule ``event``."""
@@ -131,8 +137,54 @@ class EventQueue:
         )
         self.push(Event(time=end, kind=EventKind.CONTACT_END, contact=contact))
 
+    def attach_contacts(
+        self, contacts: Iterator[Contact], horizon: Optional[float] = None
+    ) -> None:
+        """Feed contacts lazily from a time-ordered stream.
+
+        Instead of bulk-pushing every contact up front (O(trace) heap
+        memory), the queue holds one *pending* contact from the stream
+        and pushes it — via the same :meth:`push_contact` path — only
+        once the heap head reaches its start time.  Because the stream
+        is non-decreasing in start time and a fed contact's events
+        never precede the current head, the drain order is identical
+        to the bulk load: cross-kind ties still resolve by
+        :class:`EventKind` priority, and same-kind ties keep the
+        stream's own order.  Contacts starting at or past the horizon
+        end the feed (nothing later in a sorted stream can start
+        inside the run).
+        """
+        self._contacts = iter(contacts)
+        self._contact_horizon = horizon
+        self._pending = self._next_contact()
+
+    def _next_contact(self) -> Optional[Contact]:
+        if self._contacts is None:
+            return None
+        horizon = self._contact_horizon
+        for contact in self._contacts:
+            if horizon is not None and contact.start >= horizon:
+                break
+            return contact
+        self._contacts = None
+        return None
+
+    def _feed(self) -> None:
+        """Push pending stream contacts due at or before the head."""
+        pending = self._pending
+        if pending is None:
+            return
+        heap = self._heap
+        while pending is not None and (
+            not heap or pending.start <= heap[0][0]
+        ):
+            self.push_contact(pending, horizon=self._contact_horizon)
+            pending = self._next_contact()
+        self._pending = pending
+
     def peek(self) -> Optional[Event]:
         """The earliest event without removing it (None when empty)."""
+        self._feed()
         return self._heap[0][3] if self._heap else None
 
     def pop(self) -> Event:
@@ -141,17 +193,19 @@ class EventQueue:
         Raises:
             IndexError: if the queue is empty.
         """
+        self._feed()
         return heapq.heappop(self._heap)[3]
 
     def __len__(self) -> int:
+        """Events currently on the heap (stream feed not counted)."""
         return len(self._heap)
 
     def __bool__(self) -> bool:
-        return bool(self._heap)
+        return bool(self._heap) or self._pending is not None
 
     def drain(self) -> Iterator[Event]:
         """Yield events in time order until the queue is empty."""
-        while self._heap:
+        while self._heap or self._pending is not None:
             yield self.pop()
 
 

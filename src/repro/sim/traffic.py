@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Sequence
 
 from ..traces.trace import NodeId
 from .config import SimulationConfig
@@ -37,7 +37,12 @@ class PoissonTraffic:
     def __init__(self, nodes: Sequence[NodeId], config: SimulationConfig) -> None:
         if len(nodes) < 2:
             raise ValueError("traffic needs at least two nodes")
-        self._nodes: Tuple[NodeId, ...] = tuple(nodes)
+        # A ``range`` universe (streaming sources) stays a range:
+        # ``Random.choice`` indexes it identically to an equal-valued
+        # tuple, and a 1M-node tuple would defeat the O(1) universe.
+        self._nodes: Sequence[NodeId] = (
+            nodes if isinstance(nodes, range) else tuple(nodes)
+        )
         self._config = config
         self._rng = random.Random(f"{config.seed}|traffic")
 

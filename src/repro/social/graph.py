@@ -35,6 +35,7 @@ class ContactGraph:
     def from_trace(cls, trace: ContactTrace) -> "ContactGraph":
         """Aggregate every contact of ``trace`` into the graph."""
         edges: Dict[FrozenSet[NodeId], Tuple[int, float]] = {}
+        # g2g: allow(G2G013: offline aggregate over the full evaluation trace)
         for contact in trace.contacts:
             count, duration = edges.get(contact.pair, (0, 0.0))
             edges[contact.pair] = (count + 1, duration + contact.duration)

@@ -25,10 +25,13 @@ from .fitting import (
 from .io import (
     TraceFormatError,
     dump_trace,
+    iter_chunked_contacts,
     load_trace,
     load_trace_with_universe,
     parse_trace,
+    read_chunked_universe,
     save_trace,
+    write_chunked_contacts,
 )
 from .presets import (
     DELEGATION_TTL,
@@ -56,6 +59,15 @@ from .synthetic import (
     SyntheticTrace,
     generate,
 )
+from .stream import (
+    ChunkedFileSource,
+    ContactSource,
+    InMemorySource,
+    StreamModelConfig,
+    SyntheticStreamSource,
+    ensure_contact_source,
+    source_from_spec,
+)
 from .trace import (
     Contact,
     ContactTrace,
@@ -74,18 +86,23 @@ from .windows import (
 
 __all__ = [
     "ActivityWindow",
+    "ChunkedFileSource",
     "CommunityAssignment",
     "CommunityModelConfig",
     "Contact",
+    "ContactSource",
     "ContactTrace",
     "DELEGATION_TTL",
     "EPIDEMIC_TTL",
     "EvaluationWindow",
+    "InMemorySource",
     "NodeId",
     "QUALITY_TIMEFRAME",
     "SILENT_TAIL",
     "STANDARD_WINDOW",
+    "StreamModelConfig",
     "SummaryStats",
+    "SyntheticStreamSource",
     "SyntheticTrace",
     "TraceFormatError",
     "TraceProfile",
@@ -98,6 +115,7 @@ __all__ = [
     "contacts_per_pair",
     "dump_trace",
     "empirical_ccdf",
+    "ensure_contact_source",
     "ensure_contact_trace",
     "ExponentialFit",
     "fit_exponential",
@@ -105,6 +123,7 @@ __all__ = [
     "generate",
     "infocom05",
     "inter_contact_times",
+    "iter_chunked_contacts",
     "ks_distance",
     "lab_config",
     "load_trace",
@@ -116,10 +135,13 @@ __all__ = [
     "pairwise_contacts",
     "ParetoTailFit",
     "parse_trace",
+    "read_chunked_universe",
     "reencounter_probability",
     "save_trace",
     "simulate_mobility",
+    "source_from_spec",
     "standard_window",
     "trace_by_name",
     "TraceDistributionReport",
+    "write_chunked_contacts",
 ]

@@ -1,0 +1,8 @@
+"""Materializes the contact list outside the trace layer — G2G013."""
+
+
+def run(trace):
+    total = 0.0
+    for contact in trace.contacts:
+        total += contact.end - contact.start
+    return total

@@ -1,0 +1,8 @@
+"""Clean counterpart: contacts stream through the source choke point."""
+
+
+def run(source):
+    total = 0.0
+    for contact in source.iter_contacts():
+        total += contact.end - contact.start
+    return total

@@ -1,4 +1,4 @@
-"""Tests for the whole-program analysis layer (G2G008–G2G012).
+"""Tests for the whole-program analysis layer (G2G008–G2G013).
 
 Each project rule has one violating and one clean fixture mini-tree
 under ``tests/fixtures/project/<case>/repro/``; the shipped source
@@ -43,6 +43,7 @@ EXPECTED_BAD = {
         ("repro/sim/engine.py", 10),
         ("repro/sim/engine.py", 13),
     ],
+    "G2G013": [("repro/sim/engine.py", 6)],
 }
 
 

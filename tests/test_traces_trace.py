@@ -95,6 +95,17 @@ class TestContactTrace:
         )
         assert list(trace.contacts_of(9)) == []
 
+    def test_contacts_of_ordering_pinned(self, line_trace):
+        # The per-node index must list each node's contacts in exactly
+        # the order a scan of the sorted trace would find them —
+        # protocols iterate contacts_of() and any reordering would
+        # shift RNG draws and break bit-identical replays.
+        for node in line_trace.nodes:
+            expected = [
+                c for c in line_trace.contacts if c.involves(node)
+            ]
+            assert list(line_trace.contacts_of(node)) == expected
+
     def test_window_shifts_times(self, pair_trace):
         w = pair_trace.window(500.0, 3500.0)
         assert [c.start for c in w.contacts] == [500.0, 2500.0]
